@@ -1,0 +1,193 @@
+package fdiam
+
+// Benchmark harness: one testing.B family per table/figure of the paper's
+// evaluation section, at Quick scale so `go test -bench=.` finishes in
+// minutes. The full-scale sweeps live in cmd/experiments; DESIGN.md maps
+// every table and figure to both entry points.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fdiam/internal/bench"
+	"fdiam/internal/core"
+	"fdiam/internal/graph"
+)
+
+// benchWorkloads picks a representative subset of the catalog (one per
+// topology class) so every benchmark family stays fast; -bench with
+// cmd/experiments covers all 17.
+var benchNames = []string{
+	"2d-2e20.sym",      // grid, high diameter
+	"rmat16.sym",       // power-law, tiny diameter
+	"kron_g500-logn21", // extreme skew + isolated vertices
+	"USA-road-d.NY",    // road map
+	"citationCiteSeer", // citation/web
+}
+
+func benchWorkloads(b *testing.B) []*bench.Workload {
+	b.Helper()
+	var out []*bench.Workload
+	cat := bench.Catalog(bench.Quick)
+	for _, name := range benchNames {
+		w := bench.Find(cat, name)
+		if w == nil {
+			b.Fatalf("workload %s missing", name)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func benchGraph(b *testing.B, w *bench.Workload) *graph.Graph {
+	b.Helper()
+	g := w.Graph()
+	b.ReportMetric(float64(g.NumVertices()), "vertices")
+	return g
+}
+
+// BenchmarkTable1Catalog regenerates Table 1: graph construction plus the
+// structural statistics of every stand-in.
+func BenchmarkTable1Catalog(b *testing.B) {
+	for _, w := range benchWorkloads(b) {
+		b.Run(w.Name, func(b *testing.B) {
+			g := benchGraph(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := graph.ComputeStats(g)
+				if s.Vertices == 0 {
+					b.Fatal("empty stand-in")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Runtimes regenerates Table 2 / Figure 6: the runtime of
+// each of the paper's five codes per input (throughput = vertices/sec is
+// derivable from the reported vertices metric).
+func BenchmarkTable2Runtimes(b *testing.B) {
+	codes := bench.MainCodes()
+	for _, w := range benchWorkloads(b) {
+		for _, c := range codes {
+			b.Run(fmt.Sprintf("%s/%s", w.Name, c.Name), func(b *testing.B) {
+				g := benchGraph(b, w)
+				// Keep the slow baselines from dominating: cap
+				// each timed run like the paper's timeout.
+				const timeout = 10 * time.Second
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := c.Run(g, 0, timeout)
+					if out.TimedOut {
+						b.Skipf("%s timed out (expected for baselines on hard inputs)", c.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7ThreadScaling regenerates Figure 7: F-Diam throughput at
+// increasing worker counts.
+func BenchmarkFig7ThreadScaling(b *testing.B) {
+	for _, w := range benchWorkloads(b) {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", w.Name, workers), func(b *testing.B) {
+				g := benchGraph(b, w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.Diameter(g, core.Options{Workers: workers})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Traversals regenerates Table 3's metric: it reports the
+// BFS-traversal count of each code as a benchmark metric.
+func BenchmarkTable3Traversals(b *testing.B) {
+	codes := []bench.Code{bench.FDiamPar, bench.IFUBSer, bench.GraphDiam}
+	for _, w := range benchWorkloads(b) {
+		for _, c := range codes {
+			b.Run(fmt.Sprintf("%s/%s", w.Name, c.Name), func(b *testing.B) {
+				g := benchGraph(b, w)
+				const timeout = 10 * time.Second
+				var traversals int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := c.Run(g, 0, timeout)
+					if out.TimedOut {
+						b.Skipf("%s timed out", c.Name)
+					}
+					traversals = out.Traversals
+				}
+				b.ReportMetric(float64(traversals), "BFS-traversals")
+			})
+		}
+	}
+}
+
+// BenchmarkTable4StageRemovals regenerates Table 4's metrics: the removal
+// percentage of each stage, reported as benchmark metrics.
+func BenchmarkTable4StageRemovals(b *testing.B) {
+	for _, w := range benchWorkloads(b) {
+		b.Run(w.Name, func(b *testing.B) {
+			g := benchGraph(b, w)
+			var s core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s = core.Diameter(g, core.Options{}).Stats
+			}
+			b.ReportMetric(s.PctWinnow(), "%winnow")
+			b.ReportMetric(s.PctEliminate(), "%eliminate")
+			b.ReportMetric(s.PctChain(), "%chain")
+			b.ReportMetric(s.PctDegree0(), "%degree0")
+		})
+	}
+}
+
+// BenchmarkFig8StageTimes regenerates Figure 8's metrics: the fraction of
+// runtime per stage.
+func BenchmarkFig8StageTimes(b *testing.B) {
+	for _, w := range benchWorkloads(b) {
+		b.Run(w.Name, func(b *testing.B) {
+			g := benchGraph(b, w)
+			var s core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s = core.Diameter(g, core.Options{}).Stats
+			}
+			tot := float64(s.TimeTotal)
+			if tot > 0 {
+				b.ReportMetric(100*float64(s.TimeEcc)/tot, "%eccBFS")
+				b.ReportMetric(100*float64(s.TimeWinnow)/tot, "%winnow")
+				b.ReportMetric(100*float64(s.TimeEliminate)/tot, "%eliminate")
+				b.ReportMetric(100*float64(s.TimeChain)/tot, "%chain")
+			}
+		})
+	}
+}
+
+// BenchmarkTable5Fig9Ablations regenerates Table 5 (BFS counts, reported as
+// a metric) and Figure 9 (runtime) for the ablated F-Diam versions.
+func BenchmarkTable5Fig9Ablations(b *testing.B) {
+	for _, w := range benchWorkloads(b) {
+		for _, c := range bench.AblationCodes(0) {
+			b.Run(fmt.Sprintf("%s/%s", w.Name, c.Name), func(b *testing.B) {
+				g := benchGraph(b, w)
+				const timeout = 15 * time.Second
+				var traversals int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := c.Run(g, 0, timeout)
+					if out.TimedOut {
+						b.Skipf("%s timed out (the paper also reports T/O for some ablations)", c.Name)
+					}
+					traversals = out.Traversals
+				}
+				b.ReportMetric(float64(traversals), "BFS-traversals")
+			})
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1–5, Figures 6–9) on the 17 synthetic
+// stand-ins, printing measured numbers next to the paper's published
+// values. DESIGN.md documents the stand-in for each input; EXPERIMENTS.md
+// records a full paper-vs-measured run.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, quick scale
+//	experiments -run table2 -scale full  # one experiment at full scale
+//	experiments -run fig7 -runs 3
+//	experiments -workloads rmat16.sym,USA-road-d.NY -run table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fdiam/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "experiment: table1..table5, fig6..fig9, all; extensions beyond the paper: ext-algos, ext-allecc, ext-diropt, ext")
+	scaleFlag := fs.String("scale", "quick", "stand-in scale: quick or full")
+	runs := fs.Int("runs", 3, "timed repetitions per measurement (median reported; the paper uses 9)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-run timeout (the paper used 2.5h at full dataset scale)")
+	workers := fs.Int("workers", 0, "workers for the parallel codes (0 = all CPUs)")
+	workloadsFlag := fs.String("workloads", "", "comma-separated workload names (default: all 17)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		return fmt.Errorf("unknown -scale %q", *scaleFlag)
+	}
+	cfg := bench.Config{Runs: *runs, Timeout: *timeout, Workers: *workers}
+
+	catalog := func() []*bench.Workload {
+		all := bench.Catalog(scale)
+		if *workloadsFlag == "" {
+			return all
+		}
+		var out []*bench.Workload
+		for _, name := range strings.Split(*workloadsFlag, ",") {
+			w := bench.Find(all, strings.TrimSpace(name))
+			if w == nil {
+				fmt.Fprintf(os.Stderr, "warning: unknown workload %q\n", name)
+				continue
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+
+	fmt.Fprintf(out, "F-Diam reproduction experiments (scale=%s, runs=%d, timeout=%s)\n",
+		*scaleFlag, *runs, *timeout)
+	fmt.Fprintf(out, "paper columns (p:) are the published values at the original dataset sizes;\n")
+	fmt.Fprintf(out, "compare shapes (who wins, rough factors), not absolute numbers.\n\n")
+
+	selected := strings.Split(*which, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			s = strings.TrimSpace(s)
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+
+	if want("table1") {
+		ran = true
+		bench.Table1(out, catalog(), cfg)
+	}
+	if want("table2") || want("fig6") {
+		ran = true
+		fmt.Fprintln(out, "Running the main sweep (Table 2 + Figure 6)...")
+		rows := bench.MainSweep(catalog(), cfg, out)
+		fmt.Fprintln(out)
+		if want("table2") {
+			bench.Table2(out, rows)
+		}
+		if want("fig6") {
+			bench.Fig6(out, rows)
+		}
+	}
+	if want("table3") {
+		ran = true
+		bench.Table3(out, catalog(), cfg)
+	}
+	if want("table4") {
+		ran = true
+		bench.Table4(out, catalog(), cfg)
+	}
+	if want("fig7") {
+		ran = true
+		bench.Fig7(out, catalog(), cfg)
+	}
+	if want("fig8") {
+		ran = true
+		bench.Fig8(out, catalog(), cfg)
+	}
+	if want("table5") {
+		ran = true
+		bench.Table5(out, catalog(), cfg)
+	}
+	if want("fig9") {
+		ran = true
+		bench.Fig9(out, catalog(), cfg)
+	}
+	// Extension experiments are opt-in ("ext" selects all three); "all"
+	// covers only the paper's artifacts.
+	wantExt := func(name string) bool {
+		for _, s := range selected {
+			s = strings.TrimSpace(s)
+			if s == "ext" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+	if wantExt("ext-algos") {
+		ran = true
+		bench.TableExtensions(out, catalog(), cfg)
+	}
+	if wantExt("ext-allecc") {
+		ran = true
+		bench.TableAllEcc(out, catalog(), cfg)
+	}
+	if wantExt("ext-diropt") {
+		ran = true
+		bench.TableDirOpt(out, catalog(), cfg)
+	}
+	if wantExt("ext-twosweep") {
+		ran = true
+		bench.TableTwoSweep(out, catalog(), cfg)
+	}
+	if wantExt("ext-approx") {
+		ran = true
+		bench.TableApprox(out, catalog(), cfg)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

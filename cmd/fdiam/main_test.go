@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdiam/internal/gen"
+	"fdiam/internal/graphio"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.WriteEdgeList(f, gen.Grid2D(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunComputesDiameter(t *testing.T) {
+	path := writeTempGraph(t)
+	for _, algo := range []string{"fdiam", "ifub", "bounding", "korf", "naive"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-algo", algo, path}, &buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(buf.String(), "diameter: 10") {
+			t.Errorf("%s: output %q does not report diameter 10", algo, buf.String())
+		}
+	}
+}
+
+func TestRunStatsAndVerbose(t *testing.T) {
+	path := writeTempGraph(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", "-v", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph:", "diameter: 10", "stats:", "winnow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAblationFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	var buf bytes.Buffer
+	err := run([]string{"-no-winnow", "-no-eliminate", "-no-chain", "-no-u", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diameter: 10") {
+		t.Errorf("ablated run wrong: %q", buf.String())
+	}
+}
+
+func TestRunDisconnectedReportsInfinite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.txt")
+	f, _ := os.Create(path)
+	if err := graphio.WriteEdgeList(f, gen.Disjoint(gen.Path(4), gen.Path(8))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "infinite") || !strings.Contains(buf.String(), "7") {
+		t.Errorf("disconnected output wrong: %q", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing file arg accepted")
+	}
+	if err := run([]string{"/nonexistent/file"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTempGraph(t)
+	if err := run([]string{"-algo", "nope", path}, &buf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// Ablation study: measure what each F-Diam technique contributes on one
+// graph — the per-input view of the paper's Table 5 and Figure 9. Winnow is
+// the big hammer; dropping it multiplies the BFS count by orders of
+// magnitude on power-law inputs.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fdiam"
+)
+
+func main() {
+	// An RMAT power-law graph (the paper's rmat16.sym class) with some
+	// attached chains so Chain Processing has work to do.
+	g := fdiam.NewRMAT(15, 8, 3)
+	s := fdiam.ComputeGraphStats(g)
+	fmt.Printf("input: RMAT scale 15 — %d vertices, %d edges, max degree %d\n\n",
+		s.Vertices, s.Arcs/2, s.MaxDegree)
+
+	variants := []struct {
+		name string
+		opt  fdiam.Options
+	}{
+		{"full F-Diam", fdiam.Options{}},
+		{"no Winnow", fdiam.Options{DisableWinnow: true}},
+		{"no Eliminate", fdiam.Options{DisableEliminate: true}},
+		{"no Chain", fdiam.Options{DisableChain: true}},
+		{"no 'u' (start at vertex 0)", fdiam.Options{StartAtVertexZero: true}},
+		{"no direction-optimized BFS", fdiam.Options{DisableDirectionOpt: true}},
+		{"serial", fdiam.Options{Workers: 1}},
+	}
+
+	fmt.Printf("%-28s %10s %12s %10s %9s\n", "variant", "diameter", "BFS calls", "time", "vs full")
+	var fullTime time.Duration
+	for i, v := range variants {
+		start := time.Now()
+		res := fdiam.DiameterWithOptions(g, v.opt)
+		elapsed := time.Since(start)
+		if i == 0 {
+			fullTime = elapsed
+		}
+		rel := float64(fullTime) / float64(elapsed) * 100
+		fmt.Printf("%-28s %10d %12d %10v %8.0f%%\n",
+			v.name, res.Diameter, res.Stats.BFSTraversals(),
+			elapsed.Round(time.Microsecond), rel)
+	}
+
+	fmt.Println("\nevery variant returns the same exact diameter — the techniques are")
+	fmt.Println("pure work-avoidance, never approximations (paper §4).")
+}

@@ -1,0 +1,298 @@
+// Package fdiam computes the exact diameter of large, undirected,
+// unweighted, sparse graphs with the F-Diam algorithm (Bradley,
+// Mongandampulath Akathoott, Burtscher: "Fast Exact Diameter Computation of
+// Sparse Graphs", ICPP 2025).
+//
+// F-Diam avoids the O(nm) all-pairs approach by removing vertices from
+// consideration before their eccentricity is ever computed: a 2-sweep
+// initial bound, the novel Winnowing technique (discarding the ball of
+// radius bound/2 around a central vertex, justified by the theorems that
+// every connected graph has two diameter-attaining vertices and no
+// eccentricity below half the diameter), Chain Processing for degree-1
+// pendants and degree-2 chains, and partial-BFS Eliminate passes. The few
+// remaining eccentricities are computed with a parallel, level-synchronous,
+// direction-optimized BFS.
+//
+// Quick start:
+//
+//	b := fdiam.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 3)
+//	res := fdiam.Diameter(b.Build())
+//	fmt.Println(res.Diameter) // 3
+//
+// For disconnected inputs Result.Infinite is true and Result.Diameter
+// reports the largest eccentricity over all connected components, the same
+// convention as the paper's implementation.
+package fdiam
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"fdiam/internal/baseline"
+	"fdiam/internal/core"
+	"fdiam/internal/ecc"
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+	"fdiam/internal/graphio"
+)
+
+// Graph is an immutable undirected graph in compressed-sparse-row form.
+// Build one with a Builder, a generator, or a loader.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces a clean Graph (self-loops removed,
+// parallel edges deduplicated, adjacency sorted).
+type Builder = graph.Builder
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// Vertex is a dense vertex identifier in [0, NumVertices).
+type Vertex = graph.Vertex
+
+// Options configures a Diameter computation; the zero value runs the full
+// parallel algorithm. See the fields for the paper's ablation toggles.
+type Options = core.Options
+
+// Result is the outcome of a diameter computation, including the per-stage
+// statistics (BFS counts, removal percentages, stage timings) the paper
+// reports in its evaluation.
+type Result = core.Result
+
+// Stats holds the evaluation metrics of a run.
+type Stats = core.Stats
+
+// NewBuilder creates a Builder for a graph with n vertices (the graph grows
+// automatically if larger vertex ids are added).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Diameter computes the exact diameter of g with the full parallel F-Diam
+// algorithm.
+func Diameter(g *Graph) Result { return core.Diameter(g, core.Options{}) }
+
+// DiameterWithOptions computes the exact diameter with explicit options
+// (serial mode, ablations, worker count, timeout).
+func DiameterWithOptions(g *Graph, opt Options) Result { return core.Diameter(g, opt) }
+
+// Eccentricities computes the exact eccentricity of every vertex by brute
+// force (one BFS per vertex, parallelized over sources). O(nm): intended
+// for small graphs and validation, not for the workloads F-Diam targets.
+func Eccentricities(g *Graph, workers int) []int32 { return ecc.All(g, workers) }
+
+// RadiusAndCenter computes the graph radius (smallest eccentricity) and the
+// center vertices attaining it, by brute force. O(nm).
+func RadiusAndCenter(g *Graph, workers int) (int32, []Vertex) {
+	info := ecc.Compute(g, workers)
+	return info.Radius, info.Center
+}
+
+// Periphery computes the vertices attaining the diameter, by brute force.
+// O(nm).
+func Periphery(g *Graph, workers int) []Vertex {
+	return ecc.Compute(g, workers).Periphery
+}
+
+// BaselineResult is the outcome of one of the prior-work algorithms.
+type BaselineResult = baseline.Result
+
+// BaselineOptions configures a baseline run.
+type BaselineOptions = baseline.Options
+
+// DiameterIFUB computes the exact diameter with the iFUB algorithm
+// (Crescenzi et al. 2013), the primary comparison code in the paper.
+func DiameterIFUB(g *Graph, opt BaselineOptions) BaselineResult { return baseline.IFUB(g, opt) }
+
+// DiameterBounding computes the exact diameter with the Graph-Diameter /
+// BoundingDiameters eccentricity-bounding scheme (Akiba et al. 2015,
+// undirected restriction).
+func DiameterBounding(g *Graph, opt BaselineOptions) BaselineResult { return baseline.Bounding(g, opt) }
+
+// DiameterKorf computes the exact diameter with Korf's partial-BFS
+// algorithm (2021).
+func DiameterKorf(g *Graph, opt BaselineOptions) BaselineResult { return baseline.Korf(g, opt) }
+
+// DiameterNaive computes the exact diameter with one BFS per vertex — the
+// O(nm) reference.
+func DiameterNaive(g *Graph, opt BaselineOptions) BaselineResult { return baseline.Naive(g, opt) }
+
+// DiameterTakesKosters computes the exact diameter with the adaptive
+// BoundingDiameters algorithm (Takes & Kosters 2011) — a stronger selection
+// strategy than the paper's Graph-Diameter baseline, provided as an
+// extension.
+func DiameterTakesKosters(g *Graph, opt BaselineOptions) BaselineResult {
+	return baseline.TakesKosters(g, opt)
+}
+
+// DiameterVertexCentric computes the diameter with a bit-parallel
+// multi-source BFS over every vertex — the vertex-centric scheme of
+// Pennycuff & Weninger (2015) from the paper's related work. Θ(n·m/64)
+// work: small graphs only.
+func DiameterVertexCentric(g *Graph, opt BaselineOptions) BaselineResult {
+	return baseline.VertexCentric(g, opt)
+}
+
+// DiameterFloydWarshall computes the diameter via blocked Floyd–Warshall
+// APSP (the CPU analog of the GPU implementation in the paper's related
+// work). Θ(n³) time, Θ(n²) memory: small graphs only; larger inputs are
+// refused with TimedOut set.
+func DiameterFloydWarshall(g *Graph, opt BaselineOptions) BaselineResult {
+	return baseline.FloydWarshall(g, opt)
+}
+
+// EstimateDiameter returns the Roditty–Vassilevska Williams sampling
+// estimate: a certified lower bound that is at least ⌊2D/3⌋ with high
+// probability, using about 2√n BFS traversals. sampleSize ≤ 0 selects ⌈√n⌉.
+func EstimateDiameter(g *Graph, sampleSize int, seed uint64) int32 {
+	return baseline.RodittyWilliams(g, sampleSize, seed, baseline.Options{}).Estimate
+}
+
+// NetworkInfo bundles the eccentricity distribution of a graph: diameter,
+// radius, center, periphery, and per-vertex eccentricities.
+type NetworkInfo = ecc.Info
+
+// AnalyzeNetwork computes NetworkInfo with the Takes–Kosters bounded
+// all-eccentricities algorithm — typically a small fraction of n BFS
+// traversals instead of the brute-force n.
+func AnalyzeNetwork(g *Graph, workers int) NetworkInfo { return ecc.FastInfo(g, workers) }
+
+// AllEccentricities computes the exact eccentricity of every vertex with
+// eccentricity bounding, returning the values and the number of BFS
+// traversals spent.
+func AllEccentricities(g *Graph, workers int) ([]int32, int64) {
+	res := ecc.BoundedAll(g, workers)
+	return res.Eccs, res.BFSTraversals
+}
+
+// ReorderBFS relabels g in BFS discovery order from the max-degree vertex,
+// which improves CSR locality for traversal-heavy workloads. Distances and
+// the diameter are invariant under relabeling.
+func ReorderBFS(g *Graph) *Graph { return graph.Permute(g, graph.BFSOrder(g)) }
+
+// ReorderByDegree relabels g by descending degree.
+func ReorderByDegree(g *Graph) *Graph { return graph.Permute(g, graph.DegreeOrder(g)) }
+
+// ConnectedComponents labels the connected components of g.
+func ConnectedComponents(g *Graph) *graph.Components { return graph.ConnectedComponents(g) }
+
+// LargestComponent extracts the largest connected component (new ids) and
+// the mapping back to original ids.
+func LargestComponent(g *Graph) (*Graph, []Vertex) { return graph.LargestComponent(g) }
+
+// GraphStats summarizes structural properties (Table 1's columns).
+type GraphStats = graph.Stats
+
+// ComputeGraphStats gathers GraphStats in O(n+m).
+func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+//
+// Generators — deterministic synthetic graphs (see internal/gen for the
+// full set; these cover the topology classes of the paper's inputs).
+//
+
+// NewGrid2D returns the w×h 4-neighbor grid.
+func NewGrid2D(w, h int) *Graph { return gen.Grid2D(w, h) }
+
+// NewTriangularGrid returns the w×h triangulated grid (avg degree ≈ 6).
+func NewTriangularGrid(w, h int) *Graph { return gen.TriangularGrid(w, h) }
+
+// NewPath returns the path graph on n vertices.
+func NewPath(n int) *Graph { return gen.Path(n) }
+
+// NewCycle returns the cycle graph on n vertices.
+func NewCycle(n int) *Graph { return gen.Cycle(n) }
+
+// NewRMAT returns a recursive-matrix power-law graph with 2^scale vertices
+// and about edgeFactor·2^scale edges.
+func NewRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, gen.DefaultRMAT, seed)
+}
+
+// NewKronecker returns a Graph500-style Kronecker graph.
+func NewKronecker(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.Kronecker(scale, edgeFactor, seed)
+}
+
+// NewBarabasiAlbert returns a preferential-attachment graph (n vertices,
+// k edges per new vertex). Note that pure preferential attachment yields
+// ultra-small diameters (~log n); real social/web networks — and the
+// paper's inputs — have larger diameters from their sparse periphery, which
+// NewSocialNetwork models.
+func NewBarabasiAlbert(n, k int, seed uint64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// NewSocialNetwork returns a power-law graph with the core–periphery
+// structure of real social/web networks: a preferential-attachment core
+// plus sparse tree "whiskers" of the given depth, which set the diameter to
+// roughly 2·whiskerDepth + core diameter. whiskerFrac is the fraction of
+// vertices in the periphery.
+func NewSocialNetwork(n, k int, whiskerFrac float64, whiskerDepth int, seed uint64) *Graph {
+	return gen.CoreWhiskers(n, k, whiskerFrac, whiskerDepth, seed)
+}
+
+// NewRoadNetwork returns a road-map-like graph: a random spanning tree of
+// the w×h grid plus extraFrac of the remaining grid edges.
+func NewRoadNetwork(w, h int, extraFrac float64, seed uint64) *Graph {
+	return gen.RoadNetwork(w, h, extraFrac, seed)
+}
+
+// NewRandomConnected returns a connected random graph (random tree plus
+// extra uniform edges).
+func NewRandomConnected(n, extra int, seed uint64) *Graph {
+	return gen.RandomConnected(n, extra, seed)
+}
+
+//
+// I/O — edge list, DIMACS, Matrix Market, and binary CSR.
+//
+
+// LoadFile reads a graph file. ".metis"/".graph" files are parsed as METIS
+// (their header is ambiguous with edge lists, so the extension decides);
+// everything else is sniffed (binary CSR, Matrix Market, DIMACS, or plain
+// edge list).
+func LoadFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fdiam: %w", err)
+	}
+	if hasSuffix(path, ".metis") || hasSuffix(path, ".graph") {
+		return graphio.ReadMETIS(bytes.NewReader(data))
+	}
+	return graphio.ReadAuto(data)
+}
+
+// SaveFile writes a graph in the format implied by the extension:
+// ".bin" → binary CSR, ".mtx" → Matrix Market, ".gr" → DIMACS,
+// ".metis"/".graph" → METIS, anything else → edge list.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fdiam: %w", err)
+	}
+	defer f.Close()
+	switch {
+	case hasSuffix(path, ".bin"):
+		err = graphio.WriteBinary(f, g)
+	case hasSuffix(path, ".mtx"):
+		err = graphio.WriteMatrixMarket(f, g)
+	case hasSuffix(path, ".gr"):
+		err = graphio.WriteDIMACS(f, g)
+	case hasSuffix(path, ".metis"), hasSuffix(path, ".graph"):
+		err = graphio.WriteMETIS(f, g)
+	default:
+		err = graphio.WriteEdgeList(f, g)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,3 @@
+module fdiam
+
+go 1.22

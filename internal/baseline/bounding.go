@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"sort"
+
+	"fdiam/internal/bfs"
+	"fdiam/internal/graph"
+)
+
+// Bounding computes the exact diameter with the eccentricity-bounding
+// scheme of Graph-Diameter (Akiba, Iwata, Kawata 2015) restricted to
+// undirected graphs, as the paper describes it: a double sweep establishes
+// the initial diameter lower bound, then per-vertex eccentricity upper
+// bounds are maintained via the triangle inequality
+// ecc(x) ≤ d(x,y) + ecc(y), and vertices "whose upper bounds are less than
+// the lower bound of the diameter" are skipped. Candidates are visited in
+// one fixed pass (descending degree); there is no adaptive re-selection —
+// that stronger strategy is implemented separately as TakesKosters.
+//
+// Each BFS updates the bounds of every vertex in the component — the
+// full-graph traversal per update that the paper's introduction calls
+// costly, and the main structural difference from F-Diam's partial-BFS
+// Eliminate.
+func Bounding(g *graph.Graph, opt Options) Result {
+	deadline := deadlineOf(opt)
+	res := Result{Infinite: isInfinite(g)}
+	n := g.NumVertices()
+	if n == 0 {
+		return res
+	}
+	e := bfs.New(g, opt.Workers)
+	dist := make([]int32, n)
+	hi := make([]int32, n)
+	for v := range hi {
+		hi[v] = int32(n) // ∞ surrogate
+	}
+
+	// Initial lower bound via double sweep from the max-degree vertex.
+	u := g.MaxDegreeVertex()
+	if g.Degree(u) > 0 {
+		uEcc := e.Eccentricity(u)
+		res.BFSTraversals++
+		hi[u] = uEcc
+		w := e.LastFrontier()[0]
+		res.Diameter = e.Eccentricity(w)
+		res.BFSTraversals++
+		hi[w] = res.Diameter
+	}
+
+	// One pass over the vertices in descending-degree order, skipping
+	// those whose upper bound can no longer beat the lower bound.
+	order := make([]graph.Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.Vertex(v)) > 0 {
+			order = append(order, graph.Vertex(v))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	for _, v := range order {
+		if hi[v] <= res.Diameter {
+			continue
+		}
+		if expired(deadline) {
+			res.TimedOut = true
+			return res
+		}
+		ecc := e.Distances(v, dist)
+		res.BFSTraversals++
+		if ecc > res.Diameter {
+			res.Diameter = ecc
+		}
+		for w := 0; w < n; w++ {
+			if d := dist[w]; d >= 0 && ecc+d < hi[w] {
+				hi[w] = ecc + d
+			}
+		}
+	}
+	return res
+}
+
+// TakesKosters computes the exact diameter with the adaptive
+// BoundingDiameters algorithm of Takes & Kosters (2011): both lower and
+// upper eccentricity bounds are maintained, and the next BFS source is
+// chosen adaptively, alternating between the vertex with the largest upper
+// bound (a diameter candidate) and the smallest lower bound (a strong
+// bound-tightener). This is a strictly stronger selection strategy than
+// Bounding's fixed pass — on road networks it often finishes in a handful
+// of traversals — and is provided as an extension baseline beyond the
+// paper's comparison set.
+func TakesKosters(g *graph.Graph, opt Options) Result {
+	deadline := deadlineOf(opt)
+	res := Result{Infinite: isInfinite(g)}
+	n := g.NumVertices()
+	if n == 0 {
+		return res
+	}
+	e := bfs.New(g, opt.Workers)
+	dist := make([]int32, n)
+	lo := make([]int32, n)
+	hi := make([]int32, n)
+	alive := make([]bool, n)
+	aliveCount := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.Vertex(v)) == 0 {
+			continue // ecc 0, cannot set the diameter of a non-trivial graph
+		}
+		lo[v] = 0
+		hi[v] = int32(n) // ∞ surrogate
+		alive[v] = true
+		aliveCount++
+	}
+
+	pickHigh := true
+	for aliveCount > 0 {
+		if expired(deadline) {
+			res.TimedOut = true
+			return res
+		}
+		sel := graph.NoVertex
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			if sel == graph.NoVertex {
+				sel = graph.Vertex(v)
+				continue
+			}
+			better := false
+			if pickHigh {
+				if hi[v] > hi[sel] || (hi[v] == hi[sel] && g.Degree(graph.Vertex(v)) > g.Degree(sel)) {
+					better = true
+				}
+			} else {
+				if lo[v] < lo[sel] || (lo[v] == lo[sel] && g.Degree(graph.Vertex(v)) > g.Degree(sel)) {
+					better = true
+				}
+			}
+			if better {
+				sel = graph.Vertex(v)
+			}
+		}
+		pickHigh = !pickHigh
+
+		ecc := e.Distances(sel, dist)
+		res.BFSTraversals++
+		if ecc > res.Diameter {
+			res.Diameter = ecc
+		}
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := dist[v]
+			if d < 0 {
+				continue // other component: untouched
+			}
+			if l := max32(d, ecc-d); l > lo[v] {
+				lo[v] = l
+			}
+			if u := ecc + d; u < hi[v] {
+				hi[v] = u
+			}
+			if lo[v] > res.Diameter {
+				res.Diameter = lo[v]
+			}
+			if hi[v] <= res.Diameter || lo[v] == hi[v] {
+				alive[v] = false
+				aliveCount--
+			}
+		}
+	}
+	return res
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

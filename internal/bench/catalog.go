@@ -1,0 +1,331 @@
+// Package bench is the experiment harness: it holds the catalog of 17
+// synthetic stand-ins for the paper's input graphs (Table 1), runs every
+// diameter code on them with median-of-k timing and timeouts (§5), and
+// renders each of the paper's tables and figures (Tables 1–5, Figures 6–9)
+// side by side with the paper's published numbers so the reproduction can
+// be judged on shape.
+package bench
+
+import (
+	"sync"
+
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+)
+
+// Scale selects the stand-in sizes. The paper's graphs reach 50 M vertices;
+// this module is offline and laptop-scale, so the catalog reproduces each
+// input's topology class at a reduced size (documented in DESIGN.md §3).
+type Scale int
+
+const (
+	// Quick is for unit tests and `go test -bench` — seconds per table.
+	Quick Scale = iota
+	// Full is for cmd/experiments — the largest stand-ins, minutes per
+	// table.
+	Full
+)
+
+// PaperRef carries the paper's published numbers for one input so the
+// harness can print paper-vs-measured. Negative values mean "T/O" (the
+// paper's 2.5 h timeout).
+type PaperRef struct {
+	// Table 1.
+	Vertices, Edges int64
+	AvgDeg          float64
+	MaxDeg          int64
+	Diameter        int64
+	// Table 2 runtimes in seconds.
+	FDiamSer, FDiamPar, IFUBSer, IFUBPar, GraphDiam float64
+	// Table 3 BFS traversal counts.
+	BFSFDiam, BFSIFUB, BFSGraphDiam int64
+	// Table 4 removal percentages.
+	PctWinnow, PctElim, PctChain, PctDeg0 float64
+	// Table 5 BFS counts for the ablated F-Diam versions.
+	BFSNoWinnow, BFSNoElim, BFSNoU int64
+}
+
+// Workload couples a stand-in graph with the paper's reference numbers.
+type Workload struct {
+	// Name is the paper's input name; the stand-in mirrors its topology
+	// class at reduced scale.
+	Name string
+	// Class describes the topology family (Table 1's "type" column).
+	Class string
+	// StandIn describes what this repository generates instead.
+	StandIn string
+	// Build generates the graph (deterministic).
+	Build func() *graph.Graph
+	// Paper holds the published numbers.
+	Paper PaperRef
+
+	once  sync.Once
+	graph *graph.Graph
+}
+
+// Graph builds (once) and returns the workload's graph.
+func (w *Workload) Graph() *graph.Graph {
+	w.once.Do(func() { w.graph = w.Build() })
+	return w.graph
+}
+
+// Release drops the cached graph so a sequential sweep over the full-scale
+// catalog never holds more than one large graph in memory.
+func (w *Workload) Release() {
+	w.graph = nil
+	w.once = sync.Once{}
+}
+
+// Catalog returns the 17 stand-ins in the paper's Table 1 order.
+func Catalog(scale Scale) []*Workload {
+	f := 1 // dimension divisor for Quick
+	if scale == Quick {
+		f = 4
+	}
+	d := func(x int) int { // divide dimensions, keep a sane floor
+		x /= f
+		if x < 16 {
+			x = 16
+		}
+		return x
+	}
+	n := func(x int) int { // divide vertex counts
+		x /= f * f
+		if x < 256 {
+			x = 256
+		}
+		return x
+	}
+	s := func(x int) int { // reduce RMAT scales by log2(f²)
+		if scale == Quick {
+			return x - 4
+		}
+		return x
+	}
+
+	return []*Workload{
+		{
+			Name: "2d-2e20.sym", Class: "grid",
+			StandIn: "4-neighbor square grid",
+			Build:   func() *graph.Graph { return gen.Grid2D(d(512), d(512)) },
+			Paper: PaperRef{
+				Vertices: 1048576, Edges: 4190208, AvgDeg: 4.0, MaxDeg: 4, Diameter: 2046,
+				FDiamSer: 0.885, FDiamPar: 0.138, IFUBSer: -1, IFUBPar: -1, GraphDiam: 3.285,
+				BFSFDiam: 10, BFSIFUB: -1, BFSGraphDiam: 6,
+				PctWinnow: 75.74, PctElim: 24.25, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 12, BFSNoElim: -1, BFSNoU: 10,
+			},
+		},
+		{
+			Name: "amazon0601", Class: "product co-purchases",
+			StandIn: "core+whiskers power law (k=7, 15% whiskers, depth 9)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(400000), 7, 0.15, 9, 101) },
+			Paper: PaperRef{
+				Vertices: 403394, Edges: 4886816, AvgDeg: 12.1, MaxDeg: 2752, Diameter: 25,
+				FDiamSer: 0.169, FDiamPar: 0.019, IFUBSer: 259.004, IFUBPar: 94.916, GraphDiam: 3.983,
+				BFSFDiam: 15, BFSIFUB: 19, BFSGraphDiam: 35,
+				PctWinnow: 99.98, PctElim: 0.01, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 605, BFSNoElim: 71, BFSNoU: 30,
+			},
+		},
+		{
+			Name: "as-skitter", Class: "Internet topology",
+			StandIn: "core+whiskers power law (k=8, 12% whiskers, depth 12)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(1600000), 8, 0.12, 12, 102) },
+			Paper: PaperRef{
+				Vertices: 1696415, Edges: 22190596, AvgDeg: 13.1, MaxDeg: 35455, Diameter: 31,
+				FDiamSer: 0.296, FDiamPar: 0.051, IFUBSer: 451.391, IFUBPar: 402.688, GraphDiam: 5.959,
+				BFSFDiam: 44, BFSIFUB: 7, BFSGraphDiam: 767,
+				PctWinnow: 99.89, PctElim: 0.00, PctChain: 0.04, PctDeg0: 0.00,
+				BFSNoWinnow: 1382, BFSNoElim: 92, BFSNoU: 44,
+			},
+		},
+		{
+			Name: "citationCiteSeer", Class: "publication citations",
+			StandIn: "core+whiskers power law (k=5, 15% whiskers, depth 15)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(270000), 5, 0.15, 15, 103) },
+			Paper: PaperRef{
+				Vertices: 268495, Edges: 2313294, AvgDeg: 8.6, MaxDeg: 1318, Diameter: 36,
+				FDiamSer: 0.192, FDiamPar: 0.026, IFUBSer: 187.226, IFUBPar: 71.575, GraphDiam: 2.098,
+				BFSFDiam: 12, BFSIFUB: 22, BFSGraphDiam: 27,
+				PctWinnow: 99.99, PctElim: 0.00, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 432, BFSNoElim: 12, BFSNoU: 24,
+			},
+		},
+		{
+			Name: "cit-Patents", Class: "patent citations",
+			StandIn: "core+whiskers power law (k=5, 12% whiskers, depth 10), larger",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(2000000), 5, 0.12, 10, 104) },
+			Paper: PaperRef{
+				Vertices: 3774768, Edges: 33037894, AvgDeg: 8.8, MaxDeg: 793, Diameter: 26,
+				FDiamSer: 3.520, FDiamPar: 0.209, IFUBSer: -1, IFUBPar: -1, GraphDiam: 705.259,
+				BFSFDiam: 788, BFSIFUB: -1, BFSGraphDiam: 4154,
+				PctWinnow: 99.72, PctElim: 0.00, PctChain: 0.15, PctDeg0: 0.00,
+				BFSNoWinnow: 11234, BFSNoElim: 984, BFSNoU: 2597,
+			},
+		},
+		{
+			Name: "coPapersDBLP", Class: "publication citations",
+			StandIn: "core+whiskers power law, dense (k=31, 10% whiskers, depth 8)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(540000), 31, 0.10, 8, 105) },
+			Paper: PaperRef{
+				Vertices: 540486, Edges: 30491458, AvgDeg: 56.4, MaxDeg: 3299, Diameter: 23,
+				FDiamSer: 0.417, FDiamPar: 0.028, IFUBSer: 761.575, IFUBPar: 203.028, GraphDiam: 3.426,
+				BFSFDiam: 11, BFSIFUB: 38, BFSGraphDiam: 10,
+				PctWinnow: 99.99, PctElim: 0.00, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 491, BFSNoElim: 13, BFSNoU: 44,
+			},
+		},
+		{
+			Name: "delaunay_n24", Class: "triangulation",
+			StandIn: "triangulated grid (planar, avg deg ≈ 6)",
+			Build:   func() *graph.Graph { return gen.TriangularGrid(d(512), d(512)) },
+			Paper: PaperRef{
+				Vertices: 16777216, Edges: 100663202, AvgDeg: 6.0, MaxDeg: 26, Diameter: 1722,
+				FDiamSer: 2017.863, FDiamPar: 116.999, IFUBSer: -1, IFUBPar: -1, GraphDiam: -1,
+				BFSFDiam: 3151, BFSIFUB: -1, BFSGraphDiam: -1,
+				PctWinnow: 82.46, PctElim: 17.53, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 6351, BFSNoElim: -1, BFSNoU: 4700,
+			},
+		},
+		{
+			Name: "europe_osm", Class: "road map",
+			StandIn: "subdivided grid spanning tree (deg-2 shape points, avg deg ≈ 2.1)",
+			Build: func() *graph.Graph {
+				// extra 0.30 on the base keeps avg degree ≈ 2.1
+				// after 4-way subdivision while making the base
+				// metric grid-like rather than tree-like.
+				return gen.Subdivide(gen.RoadNetwork(d(280), d(280), 0.30, 106), 4)
+			},
+			Paper: PaperRef{
+				Vertices: 50912018, Edges: 108109320, AvgDeg: 2.1, MaxDeg: 13, Diameter: 30102,
+				FDiamSer: 52.169, FDiamPar: 5.095, IFUBSer: -1, IFUBPar: -1, GraphDiam: 219.913,
+				BFSFDiam: 22, BFSIFUB: -1, BFSGraphDiam: 29,
+				PctWinnow: 97.23, PctElim: 0.85, PctChain: 1.50, PctDeg0: 0.00,
+				BFSNoWinnow: 37, BFSNoElim: -1, BFSNoU: 17,
+			},
+		},
+		{
+			Name: "in-2004", Class: "web links",
+			StandIn: "core+whiskers power law (k=11, 15% whiskers, depth 18)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(1400000), 11, 0.15, 18, 107) },
+			Paper: PaperRef{
+				Vertices: 1382908, Edges: 27182946, AvgDeg: 19.7, MaxDeg: 21869, Diameter: 43,
+				FDiamSer: 1.018, FDiamPar: 0.204, IFUBSer: 728.197, IFUBPar: 336.903, GraphDiam: 5.098,
+				BFSFDiam: 102, BFSIFUB: 15, BFSGraphDiam: 122,
+				PctWinnow: 97.89, PctElim: 1.27, PctChain: 0.83, PctDeg0: 0.00,
+				BFSNoWinnow: 161, BFSNoElim: 17722, BFSNoU: 105,
+			},
+		},
+		{
+			Name: "internet", Class: "Internet topology",
+			StandIn: "core+whiskers (k=2, 30% whiskers, depth 12; avg deg ≈ 3)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(125000), 2, 0.30, 12, 108) },
+			Paper: PaperRef{
+				Vertices: 124651, Edges: 387240, AvgDeg: 3.1, MaxDeg: 151, Diameter: 30,
+				FDiamSer: 0.011, FDiamPar: 0.003, IFUBSer: 46.813, IFUBPar: 26.922, GraphDiam: 0.192,
+				BFSFDiam: 3, BFSIFUB: 14, BFSGraphDiam: 14,
+				PctWinnow: 99.99, PctElim: 0.00, PctChain: 0.00, PctDeg0: 0.00,
+				BFSNoWinnow: 3021, BFSNoElim: 3, BFSNoU: 1088,
+			},
+		},
+		{
+			Name: "kron_g500-logn21", Class: "Kronecker",
+			StandIn: "Graph500 Kronecker (scale 18, edge factor 16)",
+			Build:   func() *graph.Graph { return gen.Kronecker(s(18), 16, 110) },
+			Paper: PaperRef{
+				Vertices: 2097152, Edges: 182081864, AvgDeg: 86.8, MaxDeg: 213904, Diameter: 7,
+				FDiamSer: 8.394, FDiamPar: 1.175, IFUBSer: -1, IFUBPar: -1, GraphDiam: 210.495,
+				BFSFDiam: 37, BFSIFUB: -1, BFSGraphDiam: 264,
+				PctWinnow: 73.62, PctElim: 0.00, PctChain: 0.00, PctDeg0: 26.37,
+				BFSNoWinnow: 28372, BFSNoElim: 37, BFSNoU: 25348,
+			},
+		},
+		{
+			Name: "rmat16.sym", Class: "RMAT",
+			StandIn: "RMAT scale 16, edge factor 7 (exact-size stand-in)",
+			Build:   func() *graph.Graph { return gen.RMAT(s(16), 7, gen.DefaultRMAT, 111) },
+			Paper: PaperRef{
+				Vertices: 65536, Edges: 967866, AvgDeg: 14.8, MaxDeg: 569, Diameter: 14,
+				FDiamSer: 0.009, FDiamPar: 0.003, IFUBSer: 14.985, IFUBPar: 12.893, GraphDiam: 0.176,
+				BFSFDiam: 3, BFSIFUB: 7, BFSGraphDiam: 158,
+				PctWinnow: 93.81, PctElim: 0.00, PctChain: 0.22, PctDeg0: 5.72,
+				BFSNoWinnow: 2095, BFSNoElim: 3, BFSNoU: 151,
+			},
+		},
+		{
+			Name: "rmat22.sym", Class: "RMAT",
+			StandIn: "RMAT scale 19, edge factor 8",
+			Build:   func() *graph.Graph { return gen.RMAT(s(19), 8, gen.DefaultRMAT, 112) },
+			Paper: PaperRef{
+				Vertices: 4194304, Edges: 65660814, AvgDeg: 15.7, MaxDeg: 3687, Diameter: 18,
+				FDiamSer: 2.740, FDiamPar: 0.132, IFUBSer: 1772.274, IFUBPar: 1226.946, GraphDiam: 58.329,
+				BFSFDiam: 67, BFSIFUB: 11, BFSGraphDiam: 19285,
+				PctWinnow: 89.27, PctElim: 0.00, PctChain: 0.46, PctDeg0: 9.76,
+				BFSNoWinnow: 57374, BFSNoElim: 68, BFSNoU: 277,
+			},
+		},
+		{
+			Name: "soc-LiveJournal1", Class: "journal community",
+			StandIn: "core+whiskers power law (k=10, 10% whiskers, depth 7)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(3000000), 10, 0.10, 7, 113) },
+			Paper: PaperRef{
+				Vertices: 4847571, Edges: 85702474, AvgDeg: 17.7, MaxDeg: 20333, Diameter: 20,
+				FDiamSer: 3.610, FDiamPar: 0.262, IFUBSer: 2024.930, IFUBPar: 1541.236, GraphDiam: 448.948,
+				BFSFDiam: 198, BFSIFUB: 10, BFSGraphDiam: 1172,
+				PctWinnow: 99.92, PctElim: 0.00, PctChain: 0.02, PctDeg0: 0.01,
+				BFSNoWinnow: 12465, BFSNoElim: 633, BFSNoU: 203,
+			},
+		},
+		{
+			Name: "uk-2002", Class: "web links",
+			StandIn: "core+whiskers power law (k=15, 12% whiskers, depth 19)",
+			Build:   func() *graph.Graph { return gen.CoreWhiskers(n(2000000), 15, 0.12, 19, 114) },
+			Paper: PaperRef{
+				Vertices: 18520486, Edges: 523574516, AvgDeg: 28.3, MaxDeg: 194955, Diameter: 45,
+				FDiamSer: 19.369, FDiamPar: 1.690, IFUBSer: -1, IFUBPar: -1, GraphDiam: 123.839,
+				BFSFDiam: 481, BFSIFUB: -1, BFSGraphDiam: 1090,
+				PctWinnow: 99.67, PctElim: 0.06, PctChain: 0.05, PctDeg0: 0.20,
+				BFSNoWinnow: 962, BFSNoElim: 12914, BFSNoU: 764,
+			},
+		},
+		{
+			Name: "USA-road-d.NY", Class: "road map",
+			StandIn: "grid spanning tree + 40% extra edges",
+			Build:   func() *graph.Graph { return gen.RoadNetwork(d(512), d(512), 0.40, 115) },
+			Paper: PaperRef{
+				Vertices: 264346, Edges: 730100, AvgDeg: 2.8, MaxDeg: 8, Diameter: 720,
+				FDiamSer: 0.077, FDiamPar: 0.053, IFUBSer: -1, IFUBPar: -1, GraphDiam: 0.650,
+				BFSFDiam: 17, BFSIFUB: -1, BFSGraphDiam: 26,
+				PctWinnow: 98.79, PctElim: 0.52, PctChain: 0.67, PctDeg0: 0.00,
+				BFSNoWinnow: 26, BFSNoElim: 1407, BFSNoU: 91,
+			},
+		},
+		{
+			Name: "USA-road-d.USA", Class: "road map",
+			StandIn: "subdivided grid spanning tree + 25% extra edges, larger",
+			Build: func() *graph.Graph {
+				// extra 0.50 + 2-way subdivision ⇒ avg degree 2.4,
+				// the USA-road-d value.
+				return gen.Subdivide(gen.RoadNetwork(d(512), d(512), 0.50, 116), 2)
+			},
+			Paper: PaperRef{
+				Vertices: 23947347, Edges: 57708624, AvgDeg: 2.4, MaxDeg: 9, Diameter: 8440,
+				FDiamSer: 18.548, FDiamPar: 2.914, IFUBSer: -1, IFUBPar: -1, GraphDiam: 90.976,
+				BFSFDiam: 26, BFSIFUB: -1, BFSGraphDiam: 31,
+				PctWinnow: 71.11, PctElim: 14.03, PctChain: 14.23, PctDeg0: 0.00,
+				BFSNoWinnow: 47, BFSNoElim: -1, BFSNoU: 105,
+			},
+		},
+	}
+}
+
+// Find returns the workload with the given name, or nil.
+func Find(workloads []*Workload, name string) *Workload {
+	for _, w := range workloads {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

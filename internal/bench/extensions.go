@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fdiam/internal/baseline"
+	"fdiam/internal/ecc"
+	"fdiam/internal/graph"
+	"fdiam/internal/stats"
+)
+
+// Extension experiments beyond the paper's evaluation: the related-work
+// algorithms the paper discusses but does not benchmark (Korf's
+// partial-BFS, the vertex-centric scheme), the stronger Takes–Kosters
+// selection, and the bounded all-eccentricities computation. They document
+// where F-Diam's advantage comes from and what the neighboring design
+// points cost.
+
+// ExtensionCodes returns the additional diameter codes.
+func ExtensionCodes() []Code {
+	return []Code{
+		FDiamPar,
+		{"Takes-Kosters", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromBaseline(baseline.TakesKosters(g, baseline.Options{Workers: workers, Timeout: to}))
+		}},
+		{"Korf", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromBaseline(baseline.Korf(g, baseline.Options{Workers: workers, Timeout: to}))
+		}},
+		{"Vertex-centric", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromBaseline(baseline.VertexCentric(g, baseline.Options{Workers: workers, Timeout: to}))
+		}},
+		{"Naive APSP-BFS", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromBaseline(baseline.Naive(g, baseline.Options{Workers: workers, Timeout: to}))
+		}},
+		{"Blocked F-W", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromBaseline(baseline.FloydWarshall(g, baseline.Options{Workers: workers, Timeout: to}))
+		}},
+	}
+}
+
+// TableApprox measures the Roditty–Williams 3/2-approximation against the
+// exact diameter: estimate quality and traversal budget.
+func TableApprox(w io.Writer, workloads []*Workload, cfg Config) {
+	t := NewTable("Extension table: Roditty–Williams diameter approximation vs exact",
+		"graph", "exact", "estimate", "ratio", "BFS", "2/3 bound holds")
+	for _, wl := range workloads {
+		g := wl.Graph()
+		exact := FDiamPar.Run(g, cfg.Workers, cfg.Timeout)
+		approx := baseline.RodittyWilliams(g, 0, 1, baseline.Options{Workers: cfg.Workers})
+		ratio := "n/a"
+		holds := "n/a"
+		if !exact.TimedOut && exact.Diameter > 0 {
+			ratio = fmt.Sprintf("%.3f", float64(approx.Estimate)/float64(exact.Diameter))
+			if approx.Estimate >= 2*exact.Diameter/3 {
+				holds = "yes"
+			} else {
+				holds = "NO"
+			}
+		}
+		t.Add(wl.Name,
+			fmtCountOrTO(int64(exact.Diameter), exact.TimedOut),
+			fmt.Sprintf("%d", approx.Estimate), ratio,
+			fmt.Sprintf("%d", approx.BFSTraversals), holds)
+		wl.Release()
+	}
+	t.Render(w)
+}
+
+// TableExtensions measures the extension codes on every workload: runtime
+// and traversal count per code.
+func TableExtensions(w io.Writer, workloads []*Workload, cfg Config) {
+	codes := ExtensionCodes()
+	header := []string{"graph"}
+	for _, c := range codes {
+		header = append(header, c.Name, "BFS")
+	}
+	t := NewTable("Extension table: related-work algorithms the paper discusses but does not run (runtime s | BFS traversals)", header...)
+	for _, wl := range workloads {
+		g := wl.Graph()
+		cells := []string{wl.Name}
+		for _, c := range codes {
+			m := Measure(c, g, cfg)
+			cells = append(cells,
+				fmtOrTO(m.Runtime.Seconds(), m.TimedOut),
+				fmtCountOrTO(m.Traversals, m.TimedOut))
+		}
+		t.Add(cells...)
+		wl.Release()
+	}
+	t.Render(w)
+}
+
+// TableAllEcc measures the bounded all-eccentricities computation
+// (diameter + radius + full distribution) against brute force, reporting
+// the traversal savings.
+func TableAllEcc(w io.Writer, workloads []*Workload, cfg Config) {
+	t := NewTable("Extension table: all-vertex eccentricities via bounding (vs n brute-force BFS)",
+		"graph", "vertices", "BFS used", "saving", "diameter", "radius", "time")
+	for _, wl := range workloads {
+		g := wl.Graph()
+		n := g.NumVertices()
+		start := time.Now()
+		res := ecc.BoundedAll(g, cfg.Workers)
+		elapsed := time.Since(start)
+		var diam, radius int32
+		radius = int32(n)
+		for v := 0; v < n; v++ {
+			e := res.Eccs[v]
+			if e > diam {
+				diam = e
+			}
+			if g.Degree(graph.Vertex(v)) > 0 && e < radius {
+				radius = e
+			}
+		}
+		saving := "n/a"
+		if res.BFSTraversals > 0 {
+			saving = fmt.Sprintf("%.1fx", float64(n)/float64(res.BFSTraversals))
+		}
+		t.Add(wl.Name, stats.FormatCount(int64(n)),
+			fmt.Sprintf("%d", res.BFSTraversals), saving,
+			fmt.Sprintf("%d", diam), fmt.Sprintf("%d", radius),
+			elapsed.Round(time.Millisecond).String())
+		wl.Release()
+	}
+	t.Render(w)
+}
+
+// TableTwoSweep measures how tight the 2-sweep initial bound is — the
+// paper notes it is "often very close to the exact diameter" (§4.2), which
+// is what makes the first Winnow so effective. Also reports the 4-SWEEP
+// bound iFUB uses.
+func TableTwoSweep(w io.Writer, workloads []*Workload, cfg Config) {
+	t := NewTable("Extension table: initial lower-bound tightness (2-sweep seeds F-Diam, 4-sweep seeds iFUB)",
+		"graph", "diameter", "2-sweep", "gap", "4-sweep", "gap")
+	for _, wl := range workloads {
+		g := wl.Graph()
+		out := FDiamPar.Run(g, cfg.Workers, cfg.Timeout)
+		start := g.MaxDegreeVertex()
+		two := baseline.TwoSweepLB(g, start, baseline.Options{Workers: cfg.Workers})
+		four, _ := baseline.FourSweepLB(g, start, baseline.Options{Workers: cfg.Workers})
+		t.Add(wl.Name,
+			fmtCountOrTO(int64(out.Diameter), out.TimedOut),
+			fmt.Sprintf("%d", two), fmt.Sprintf("%d", out.Diameter-two),
+			fmt.Sprintf("%d", four), fmt.Sprintf("%d", out.Diameter-four))
+		wl.Release()
+	}
+	t.Render(w)
+}
+
+// TableDirOpt measures the contribution of the direction-optimized BFS
+// (the hybrid the paper adopts from Beamer et al.): parallel F-Diam with
+// and without the bottom-up switch.
+func TableDirOpt(w io.Writer, workloads []*Workload, cfg Config) {
+	t := NewTable("Extension table: direction-optimized BFS ablation",
+		"graph", "hybrid", "top-down only", "speedup")
+	for _, wl := range workloads {
+		g := wl.Graph()
+		hybrid := Measure(FDiamPar, g, cfg)
+		plain := Measure(Code{"top-down", func(gg *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromCore(coreDiameterNoDirOpt(gg, workers, to))
+		}}, g, cfg)
+		speed := "n/a"
+		if !hybrid.TimedOut && !plain.TimedOut && hybrid.Runtime > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(plain.Runtime)/float64(hybrid.Runtime))
+		}
+		t.Add(wl.Name,
+			fmtOrTO(hybrid.Runtime.Seconds(), hybrid.TimedOut),
+			fmtOrTO(plain.Runtime.Seconds(), plain.TimedOut),
+			speed)
+		wl.Release()
+	}
+	t.Render(w)
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"time"
+
+	"fdiam/internal/baseline"
+	"fdiam/internal/core"
+	"fdiam/internal/graph"
+	"fdiam/internal/stats"
+)
+
+// Outcome is the normalized result of one diameter code on one graph.
+type Outcome struct {
+	Diameter   int32
+	Infinite   bool
+	TimedOut   bool
+	Traversals int64 // BFS traversal count (Table 3 semantics)
+}
+
+// Code is one of the diameter implementations the paper evaluates.
+type Code struct {
+	Name string
+	// Run executes the code once with the given worker count and
+	// per-run timeout.
+	Run func(g *graph.Graph, workers int, timeout time.Duration) Outcome
+}
+
+// The five codes of Figure 6 / Table 2, in the paper's order.
+var (
+	FDiamSer = Code{"F-Diam (ser)", func(g *graph.Graph, _ int, to time.Duration) Outcome {
+		return fromCore(core.Diameter(g, core.Options{Workers: 1, Timeout: to}))
+	}}
+	FDiamPar = Code{"F-Diam (par)", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		return fromCore(core.Diameter(g, core.Options{Workers: workers, Timeout: to}))
+	}}
+	IFUBSer = Code{"iFUB (ser)", func(g *graph.Graph, _ int, to time.Duration) Outcome {
+		return fromBaseline(baseline.IFUB(g, baseline.Options{Workers: 1, Timeout: to}))
+	}}
+	IFUBPar = Code{"iFUB (par)", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		return fromBaseline(baseline.IFUB(g, baseline.Options{Workers: workers, Timeout: to}))
+	}}
+	GraphDiam = Code{"Graph-Diam.", func(g *graph.Graph, _ int, to time.Duration) Outcome {
+		return fromBaseline(baseline.Bounding(g, baseline.Options{Workers: 1, Timeout: to}))
+	}}
+)
+
+// MainCodes returns the paper's five headline codes.
+func MainCodes() []Code {
+	return []Code{FDiamSer, FDiamPar, IFUBSer, IFUBPar, GraphDiam}
+}
+
+// AblationCodes returns the four F-Diam variants of Table 5 / Figure 9
+// (all parallel, as in the paper).
+func AblationCodes(workers int) []Code {
+	mk := func(name string, opt core.Options) Code {
+		return Code{name, func(g *graph.Graph, w int, to time.Duration) Outcome {
+			o := opt
+			o.Workers = w
+			o.Timeout = to
+			return fromCore(core.Diameter(g, o))
+		}}
+	}
+	return []Code{
+		mk("F-Diam", core.Options{}),
+		mk("no Winnow", core.Options{DisableWinnow: true}),
+		mk("no Elim.", core.Options{DisableEliminate: true}),
+		mk("no 'u'", core.Options{StartAtVertexZero: true}),
+	}
+}
+
+// coreDiameterNoDirOpt runs parallel F-Diam with the bottom-up hybrid off,
+// for the direction-optimization ablation.
+func coreDiameterNoDirOpt(g *graph.Graph, workers int, to time.Duration) core.Result {
+	return core.Diameter(g, core.Options{Workers: workers, Timeout: to, DisableDirectionOpt: true})
+}
+
+func fromCore(r core.Result) Outcome {
+	return Outcome{
+		Diameter:   r.Diameter,
+		Infinite:   r.Infinite,
+		TimedOut:   r.TimedOut,
+		Traversals: r.Stats.BFSTraversals(),
+	}
+}
+
+func fromBaseline(r baseline.Result) Outcome {
+	return Outcome{
+		Diameter:   r.Diameter,
+		Infinite:   r.Infinite,
+		TimedOut:   r.TimedOut,
+		Traversals: r.BFSTraversals,
+	}
+}
+
+// Measurement is the timed outcome of a code on a workload.
+type Measurement struct {
+	Outcome
+	// Median runtime over the configured runs (paper: median of 9).
+	Runtime time.Duration
+	// Throughput in vertices/second (Figure 6's metric, which
+	// normalizes across graph sizes).
+	Throughput float64
+}
+
+// Config controls a harness sweep.
+type Config struct {
+	// Runs is the number of timed repetitions; the median is reported.
+	// A run that times out is not repeated. The paper uses 9.
+	Runs int
+	// Timeout per run (the paper's 2.5 h cap, scaled to this module's
+	// graph sizes).
+	Timeout time.Duration
+	// Workers for the parallel codes (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the harness defaults: 3 runs, 30 s timeout.
+func DefaultConfig() Config {
+	return Config{Runs: 3, Timeout: 30 * time.Second}
+}
+
+// Measure times one code on one graph per the config.
+func Measure(c Code, g *graph.Graph, cfg Config) Measurement {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var durations []time.Duration
+	var out Outcome
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		out = c.Run(g, cfg.Workers, cfg.Timeout)
+		durations = append(durations, time.Since(start))
+		if out.TimedOut {
+			break // no point repeating a timeout
+		}
+	}
+	m := Measurement{Outcome: out, Runtime: stats.MedianDuration(durations)}
+	if secs := m.Runtime.Seconds(); secs > 0 && !out.TimedOut {
+		m.Throughput = float64(g.NumVertices()) / secs
+	}
+	return m
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a minimal aligned-text table renderer for the experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c) // left-align the name column
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// fmtOrTO renders seconds, or the paper's "T/O" marker for timeouts and
+// negative (paper-side T/O) values.
+func fmtOrTO(seconds float64, timedOut bool) string {
+	if timedOut || seconds < 0 {
+		return "T/O"
+	}
+	return fmt.Sprintf("%.3f", seconds)
+}
+
+// fmtCountOrTO renders a count, or "T/O".
+func fmtCountOrTO(v int64, timedOut bool) string {
+	if timedOut || v < 0 {
+		return "T/O"
+	}
+	return fmt.Sprintf("%d", v)
+}

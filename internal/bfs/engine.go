@@ -1,0 +1,325 @@
+package bfs
+
+import (
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
+
+// Engine executes breadth-first traversals over one graph with reusable
+// buffers. An Engine is not safe for concurrent use: F-Diam issues one
+// traversal at a time and parallelizes *inside* each traversal, which the
+// paper found superior to running multiple BFS concurrently (§4.6).
+type Engine struct {
+	g     *graph.Graph
+	marks *Marks
+
+	workers int
+	// dirThreshold is the frontier size above which the hybrid switches
+	// to the bottom-up step: 10 % of n (paper §4.6).
+	dirThreshold int
+	// serialCutoff is the frontier size below which even "parallel"
+	// traversals expand serially; tiny frontiers do not amortize the
+	// fork/join barrier (the paper makes the same call for Eliminate).
+	serialCutoff int
+
+	wl1, wl2 []graph.Vertex
+	bufs     [][]graph.Vertex
+
+	// dirOpt enables the direction-optimized hybrid for full traversals.
+	dirOpt bool
+
+	// Counter for the paper's Table 3 / §6.3 accounting.
+	fullTraversals int64
+	// reached counts the vertices visited by the most recent traversal,
+	// which lets F-Diam detect disconnected inputs without an extra pass.
+	reached int64
+}
+
+// New creates an engine bound to g using the given worker count
+// (values < 1 select par.DefaultWorkers()).
+func New(g *graph.Graph, workers int) *Engine {
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	n := g.NumVertices()
+	thr := n / 10
+	if thr < 1 {
+		thr = 1
+	}
+	e := &Engine{
+		g:            g,
+		marks:        NewMarks(n),
+		workers:      workers,
+		dirThreshold: thr,
+		serialCutoff: 1024,
+		dirOpt:       true,
+		wl1:          make([]graph.Vertex, 0, n),
+		wl2:          make([]graph.Vertex, 0, n),
+		bufs:         make([][]graph.Vertex, workers),
+	}
+	return e
+}
+
+// Graph returns the graph the engine is bound to.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetWorkers reconfigures the parallelism for subsequent traversals.
+func (e *Engine) SetWorkers(w int) {
+	if w < 1 {
+		w = par.DefaultWorkers()
+	}
+	e.workers = w
+	if len(e.bufs) < w {
+		e.bufs = make([][]graph.Vertex, w)
+	}
+}
+
+// SetDirectionOptimized enables or disables the bottom-up hybrid for full
+// traversals (enabled by default).
+func (e *Engine) SetDirectionOptimized(on bool) { e.dirOpt = on }
+
+// SetDirectionThreshold overrides the frontier size at which the hybrid
+// switches to the bottom-up step. The default is 10 % of the vertex count,
+// the value the paper determined experimentally (§4.6); tests and tuning
+// sweeps may pick other values. Values < 1 are clamped to 1.
+func (e *Engine) SetDirectionThreshold(t int) {
+	if t < 1 {
+		t = 1
+	}
+	e.dirThreshold = t
+}
+
+// SetSerialCutoff overrides the frontier size below which parallel
+// traversals expand serially (default 1024).
+func (e *Engine) SetSerialCutoff(c int) {
+	if c < 0 {
+		c = 0
+	}
+	e.serialCutoff = c
+}
+
+// Reached returns the number of vertices visited by the most recent
+// traversal (including the seeds).
+func (e *Engine) Reached() int64 { return e.reached }
+
+// Traversals returns the number of full traversals (Eccentricity and
+// Distances calls) issued so far; the paper's Table 3 counts these plus
+// Winnow invocations.
+func (e *Engine) Traversals() int64 { return e.fullTraversals }
+
+// ResetCounters clears the traversal counter.
+func (e *Engine) ResetCounters() { e.fullTraversals = 0 }
+
+// CountTraversal lets callers (e.g. Winnow) add to the traversal count, as
+// the paper counts a Winnow as a BFS traversal (§6.3).
+func (e *Engine) CountTraversal() { e.fullTraversals++ }
+
+// Eccentricity runs a full direction-optimized BFS from src and returns the
+// number of levels minus one, i.e. the eccentricity of src within its
+// connected component (Algorithm 2). The last non-empty frontier — the
+// vertices maximally far from src — is available from LastFrontier
+// afterwards, which the 2-sweep initialization uses to pick a peripheral
+// vertex.
+func (e *Engine) Eccentricity(src graph.Vertex) int32 {
+	e.fullTraversals++
+	return e.run([]graph.Vertex{src}, -1, true, nil, nil)
+}
+
+// LastFrontier returns the last non-empty frontier of the most recent
+// traversal (for a full BFS: the vertices maximally far from the source;
+// the paper's Algorithm 1 reads wl1[0] from it). The returned slice is
+// reused by the next traversal; callers that keep it must copy.
+func (e *Engine) LastFrontier() []graph.Vertex { return e.wl1 }
+
+// Distances runs a full BFS from src and writes the hop distance of every
+// reached vertex into dist, which must have length n. Unreached vertices
+// (other components) are set to -1. Returns the eccentricity of src within
+// its component. Used by the Graph-Diameter-style bounding baseline and by
+// iFUB's fringe construction.
+func (e *Engine) Distances(src graph.Vertex, dist []int32) int32 {
+	e.fullTraversals++
+	n := e.g.NumVertices()
+	par.For(n, e.workers, 0, func(i int) { dist[i] = -1 })
+	dist[src] = 0
+	return e.run([]graph.Vertex{src}, -1, true, nil, func(level int32, frontier []graph.Vertex) {
+		if len(frontier) >= e.serialCutoff && e.workers > 1 {
+			par.ForRange(len(frontier), e.workers, 0, func(lo, hi int) {
+				for _, v := range frontier[lo:hi] {
+					dist[v] = level
+				}
+			})
+			return
+		}
+		for _, v := range frontier {
+			dist[v] = level
+		}
+	})
+}
+
+// Partial expands a (possibly multi-source) partial BFS: seeds are marked
+// visited at level 0 and expansion proceeds top-down for at most maxLevels
+// levels (maxLevels < 0 means unbounded). After each level, onLevel is
+// invoked with the level number (starting at 1) and the newly visited
+// frontier; the slice is reused, so callers must consume it immediately.
+//
+// skip, if non-nil, prevents individual vertices from being enqueued (they
+// are not visited and not reported); Winnow's incremental extension uses it
+// to avoid re-traversing the ball interior (§4.5).
+//
+// parallel selects between the serial loop (Eliminate runs serially, §4.4)
+// and the parallel top-down expansion (Winnow, §4.2).
+func (e *Engine) Partial(seeds []graph.Vertex, maxLevels int32, parallel bool,
+	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
+	workers := e.workers
+	if !parallel {
+		workers = 1
+	}
+	return e.runWith(seeds, maxLevels, false, workers, skip, onLevel)
+}
+
+// run executes the traversal with the engine's configured worker count.
+func (e *Engine) run(seeds []graph.Vertex, maxLevels int32, dirOpt bool,
+	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
+	return e.runWith(seeds, maxLevels, dirOpt, e.workers, skip, onLevel)
+}
+
+// runWith is the single traversal core shared by every entry point. It
+// returns the number of completed levels (the distance of the farthest
+// vertex reached from the seed set).
+func (e *Engine) runWith(seeds []graph.Vertex, maxLevels int32, dirOpt bool, workers int,
+	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
+	e.marks.Next()
+	e.wl1 = e.wl1[:0]
+	for _, s := range seeds {
+		if !e.marks.Visited(s) {
+			e.marks.Visit(s)
+			e.wl1 = append(e.wl1, s)
+		}
+	}
+	e.reached = int64(len(e.wl1))
+	var level int32
+	for len(e.wl1) > 0 {
+		if maxLevels >= 0 && level >= maxLevels {
+			break
+		}
+		e.wl2 = e.wl2[:0]
+		switch {
+		case dirOpt && e.dirOpt && len(e.wl1) > e.dirThreshold && skip == nil:
+			e.bottomUpStep(workers)
+		case workers > 1 && len(e.wl1) >= e.serialCutoff:
+			e.topDownParallel(workers, skip)
+		default:
+			e.topDownSerial(skip)
+		}
+		if len(e.wl2) == 0 {
+			break
+		}
+		level++
+		e.reached += int64(len(e.wl2))
+		if onLevel != nil {
+			onLevel(level, e.wl2)
+		}
+		// After the swap wl1 always holds the deepest non-empty frontier,
+		// so LastFrontier needs no copy.
+		e.wl1, e.wl2 = e.wl2, e.wl1
+	}
+	return level
+}
+
+// topDownSerial expands wl1 into wl2 without atomics.
+func (e *Engine) topDownSerial(skip func(graph.Vertex) bool) {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	for _, v := range e.wl1 {
+		adj := targets[offsets[v]:offsets[v+1]]
+		for _, n := range adj {
+			if e.marks.Visited(n) {
+				continue
+			}
+			if skip != nil && skip(n) {
+				continue
+			}
+			e.marks.Visit(n)
+			e.wl2 = append(e.wl2, n)
+		}
+	}
+}
+
+// topDownParallel expands wl1 into wl2 using CAS claims and per-worker
+// output buffers that are concatenated after the barrier, which avoids a
+// contended shared append (the OpenMP code's atomic worklist insert).
+func (e *Engine) topDownParallel(workers int, skip func(graph.Vertex) bool) {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	for w := 0; w < workers; w++ {
+		e.bufs[w] = e.bufs[w][:0]
+	}
+	par.ForWorker(len(e.wl1), workers, 64, func(worker, lo, hi int) {
+		buf := e.bufs[worker]
+		for _, v := range e.wl1[lo:hi] {
+			adj := targets[offsets[v]:offsets[v+1]]
+			for _, n := range adj {
+				if e.marks.Visited(n) {
+					continue
+				}
+				if skip != nil && skip(n) {
+					continue
+				}
+				if e.marks.TryVisit(n) {
+					buf = append(buf, n)
+				}
+			}
+		}
+		e.bufs[worker] = buf
+	})
+	for w := 0; w < workers; w++ {
+		e.wl2 = append(e.wl2, e.bufs[w]...)
+	}
+}
+
+// bottomUpStep implements the topology-driven pass of Algorithm 2: every
+// unvisited vertex scans its adjacency list for a visited neighbor. Under
+// level synchrony a visited neighbor of an unvisited vertex is necessarily
+// in the current frontier, so no frontier membership test is needed. The
+// new frontier is marked visited in a separate pass (Algorithm 2 lines
+// 22–23), so the scan itself needs no atomics.
+func (e *Engine) bottomUpStep(workers int) {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	n := e.g.NumVertices()
+	for w := 0; w < workers; w++ {
+		e.bufs[w] = e.bufs[w][:0]
+	}
+	par.ForWorker(n, workers, 2048, func(worker, lo, hi int) {
+		buf := e.bufs[worker]
+		for v := lo; v < hi; v++ {
+			vx := graph.Vertex(v)
+			if e.marks.visitedRelaxed(vx) {
+				continue
+			}
+			adj := targets[offsets[v]:offsets[v+1]]
+			for _, nb := range adj {
+				if e.marks.visitedRelaxed(nb) {
+					buf = append(buf, vx)
+					break
+				}
+			}
+		}
+		e.bufs[worker] = buf
+	})
+	for w := 0; w < workers; w++ {
+		e.wl2 = append(e.wl2, e.bufs[w]...)
+	}
+	// Mark the new frontier (distinct vertices, so plain stores race-free).
+	if len(e.wl2) >= e.serialCutoff && workers > 1 {
+		par.ForRange(len(e.wl2), workers, 0, func(lo, hi int) {
+			for _, v := range e.wl2[lo:hi] {
+				e.marks.Visit(v)
+			}
+		})
+	} else {
+		for _, v := range e.wl2 {
+			e.marks.Visit(v)
+		}
+	}
+}

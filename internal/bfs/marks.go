@@ -1,0 +1,68 @@
+// Package bfs implements the level-synchronous breadth-first-search engine
+// that underlies F-Diam and all baselines: serial and parallel top-down
+// expansion, the bottom-up pass, the direction-optimized hybrid of the
+// paper's Algorithm 2, partial and multi-source traversals, and
+// counter-based visited marks that avoid per-traversal resets (paper §4).
+package bfs
+
+import (
+	"sync/atomic"
+
+	"fdiam/internal/graph"
+)
+
+// Marks is the counter-based visited set shared by all traversals of one
+// engine. A vertex is visited in the current traversal iff its counter
+// equals the current epoch; starting a new traversal just bumps the epoch,
+// so no O(n) reset is needed between the thousands of partial BFS calls
+// F-Diam issues (paper §4: "we use a counter rather than a flag to avoid a
+// costly reset procedure").
+type Marks struct {
+	cnt   []uint32
+	epoch uint32
+}
+
+// NewMarks creates marks for n vertices.
+func NewMarks(n int) *Marks {
+	return &Marks{cnt: make([]uint32, n)}
+}
+
+// Len returns the number of vertices covered.
+func (m *Marks) Len() int { return len(m.cnt) }
+
+// Next starts a new traversal epoch. On the (astronomically rare) uint32
+// wraparound the counter array is cleared so stale marks cannot alias.
+func (m *Marks) Next() {
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.cnt {
+			m.cnt[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+// Visited reports whether v has been visited in the current epoch.
+func (m *Marks) Visited(v graph.Vertex) bool { return m.cnt[v] == m.epoch }
+
+// Visit marks v visited. Not safe for concurrent writers to the same vertex;
+// use TryVisit in parallel top-down expansion.
+func (m *Marks) Visit(v graph.Vertex) { m.cnt[v] = m.epoch }
+
+// TryVisit atomically marks v visited and reports whether this call was the
+// first visitor in the current epoch.
+func (m *Marks) TryVisit(v graph.Vertex) bool {
+	for {
+		old := atomic.LoadUint32(&m.cnt[v])
+		if old == m.epoch {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&m.cnt[v], old, m.epoch) {
+			return true
+		}
+	}
+}
+
+// visitedRelaxed is the non-atomic read used by the bottom-up step, which
+// runs strictly between mark phases (no concurrent writers).
+func (m *Marks) visitedRelaxed(v graph.Vertex) bool { return m.cnt[v] == m.epoch }

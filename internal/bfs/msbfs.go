@@ -1,0 +1,106 @@
+package bfs
+
+import (
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
+
+// MultiSourceEccentricities computes the eccentricity of every source with
+// a bit-parallel multi-source BFS (MS-BFS): sources are processed in
+// batches of 64, one bit per source per vertex, so one pass over the edges
+// advances 64 traversals at once. This is the computational core of
+// vertex-centric "compute every eccentricity simultaneously" schemes like
+// Pennycuff & Weninger's (discussed in the paper's related work): massively
+// parallel but Θ(n·m/64) work, so it loses to F-Diam's work avoidance on
+// everything but small graphs.
+//
+// The returned slice is parallel to sources; the eccentricity is within
+// each source's connected component. workers < 1 selects the default.
+func MultiSourceEccentricities(g *graph.Graph, sources []graph.Vertex, workers int) []int32 {
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	n := g.NumVertices()
+	eccs := make([]int32, len(sources))
+	if n == 0 {
+		return eccs
+	}
+	offsets, targets := g.Offsets(), g.Targets()
+
+	seen := make([]uint64, n)
+	frontier := make([]uint64, n)
+	next := make([]uint64, n)
+
+	for base := 0; base < len(sources); base += 64 {
+		batch := sources[base:]
+		if len(batch) > 64 {
+			batch = batch[:64]
+		}
+		for i := range seen {
+			seen[i] = 0
+			frontier[i] = 0
+		}
+		for bit, s := range batch {
+			seen[s] |= 1 << uint(bit)
+			frontier[s] |= 1 << uint(bit)
+		}
+		var level int32
+		for {
+			level++
+			// Pull step: every vertex gathers the frontier bits of
+			// its neighbors; bits already seen are masked out.
+			// Races are impossible: next[v] is written only by v's
+			// own iteration.
+			var advanced uint64
+			gather := func(lo, hi int) uint64 {
+				var localAdvanced uint64
+				for v := lo; v < hi; v++ {
+					var acc uint64
+					for _, w := range targets[offsets[v]:offsets[v+1]] {
+						acc |= frontier[w]
+					}
+					acc &^= seen[v]
+					next[v] = acc
+					localAdvanced |= acc
+				}
+				return localAdvanced
+			}
+			if workers > 1 && n >= 4096 {
+				results := make([]uint64, workers)
+				par.ForWorker(n, workers, 1024, func(worker, lo, hi int) {
+					results[worker] |= gather(lo, hi)
+				})
+				for _, r := range results {
+					advanced |= r
+				}
+			} else {
+				advanced = gather(0, n)
+			}
+			if advanced == 0 {
+				break
+			}
+			// Commit: fold the new bits into seen and swap frontiers.
+			for v := 0; v < n; v++ {
+				seen[v] |= next[v]
+				frontier[v] = next[v]
+			}
+			// Every source whose traversal advanced this level has
+			// eccentricity ≥ level.
+			for bit := range batch {
+				if advanced&(1<<uint(bit)) != 0 {
+					eccs[base+bit] = level
+				}
+			}
+		}
+	}
+	return eccs
+}
+
+// AllEccentricitiesMS computes the eccentricity of every vertex via MS-BFS.
+func AllEccentricitiesMS(g *graph.Graph, workers int) []int32 {
+	sources := make([]graph.Vertex, g.NumVertices())
+	for i := range sources {
+		sources[i] = graph.Vertex(i)
+	}
+	return MultiSourceEccentricities(g, sources, workers)
+}

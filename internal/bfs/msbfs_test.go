@@ -1,0 +1,109 @@
+package bfs
+
+import (
+	"testing"
+
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+)
+
+func TestMultiSourceEccentricitiesMatchesSingleSource(t *testing.T) {
+	for name, g := range testGraphs() {
+		n := g.NumVertices()
+		if n == 0 {
+			continue
+		}
+		// All vertices as sources (exercises multiple batches on the
+		// larger graphs).
+		got := AllEccentricitiesMS(g, 2)
+		e := New(g, 1)
+		for v := 0; v < n; v++ {
+			want := e.Eccentricity(graph.Vertex(v))
+			if got[v] != want {
+				t.Errorf("%s: MS ecc(%d) = %d, want %d", name, v, got[v], want)
+			}
+		}
+	}
+}
+
+func TestMultiSourceSubset(t *testing.T) {
+	g := gen.Grid2D(9, 7)
+	sources := []graph.Vertex{0, 5, 31, 62}
+	got := MultiSourceEccentricities(g, sources, 1)
+	e := New(g, 1)
+	for i, s := range sources {
+		if want := e.Eccentricity(s); got[i] != want {
+			t.Errorf("source %d: %d, want %d", s, got[i], want)
+		}
+	}
+}
+
+func TestMultiSourceBatchBoundary(t *testing.T) {
+	// Exactly 64, 65, and 128 sources cross the batch boundaries.
+	g := gen.RandomConnected(140, 100, 5)
+	e := New(g, 1)
+	for _, count := range []int{1, 63, 64, 65, 128, 140} {
+		sources := make([]graph.Vertex, count)
+		for i := range sources {
+			sources[i] = graph.Vertex(i)
+		}
+		got := MultiSourceEccentricities(g, sources, 1)
+		for i, s := range sources {
+			if want := e.Eccentricity(s); got[i] != want {
+				t.Fatalf("count=%d: ecc(%d) = %d, want %d", count, s, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMultiSourceIsolatedAndEmpty(t *testing.T) {
+	if got := MultiSourceEccentricities(graph.NewBuilder(0).Build(), nil, 1); len(got) != 0 {
+		t.Fatal("empty graph")
+	}
+	g := graph.NewBuilder(3).Build() // three isolated vertices
+	got := MultiSourceEccentricities(g, []graph.Vertex{0, 1, 2}, 1)
+	for _, e := range got {
+		if e != 0 {
+			t.Fatalf("isolated vertex ecc = %d", e)
+		}
+	}
+}
+
+func TestMultiSourceParallelAgrees(t *testing.T) {
+	g := gen.RMAT(11, 6, gen.DefaultRMAT, 13) // n=2048 < 4096 threshold? use bigger
+	g2 := gen.RMAT(13, 6, gen.DefaultRMAT, 13)
+	for _, gg := range []*graph.Graph{g, g2} {
+		sources := []graph.Vertex{0, 1, 2, 100, 500}
+		a := MultiSourceEccentricities(gg, sources, 1)
+		b := MultiSourceEccentricities(gg, sources, 4)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("worker mismatch at %d: %d vs %d", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkMultiSource64(b *testing.B) {
+	g := gen.RMAT(13, 8, gen.DefaultRMAT, 3)
+	sources := make([]graph.Vertex, 64)
+	for i := range sources {
+		sources[i] = graph.Vertex(i * 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiSourceEccentricities(g, sources, 1)
+	}
+}
+
+func Benchmark64SingleSource(b *testing.B) {
+	// The comparison point: 64 separate traversals.
+	g := gen.RMAT(13, 8, gen.DefaultRMAT, 3)
+	e := New(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 64; s++ {
+			e.Eccentricity(graph.Vertex(s * 17))
+		}
+	}
+}

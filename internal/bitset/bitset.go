@@ -1,0 +1,104 @@
+// Package bitset provides the fixed-size bit sets used by the multi-source
+// BFS engine and the vertex-centric diameter baseline: 64 sources are
+// traced per machine word, which is what makes batched BFS practical.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is unusable; create one
+// with New. Word granularity is exposed (Words) for kernels that operate
+// on whole words, e.g. the MS-BFS frontier updates.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New creates a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or sets s = s ∪ t. Both sets must have the same capacity.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNot sets s = s \ t. Both sets must have the same capacity.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// CopyFrom overwrites s with t's contents.
+func (s *Set) CopyFrom(t *Set) {
+	copy(s.words, t.words)
+}
+
+// Equal reports whether both sets contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f with the index of every set bit in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Words exposes the raw word slice for whole-word kernels. The slice must
+// not be resized; modifying bits beyond Len is undefined.
+func (s *Set) Words() []uint64 { return s.words }

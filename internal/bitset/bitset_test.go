@@ -1,0 +1,109 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOperations(t *testing.T) {
+	s := New(130) // spans three words
+	if s.Len() != 130 || s.Any() || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 6 || !s.Any() {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 5 {
+		t.Fatal("clear failed")
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := New(200), New(200)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(150)
+
+	union := New(200)
+	union.CopyFrom(a)
+	union.Or(b)
+	if union.Count() != 3 || !union.Test(1) || !union.Test(100) || !union.Test(150) {
+		t.Fatalf("union wrong: %d bits", union.Count())
+	}
+
+	diff := New(200)
+	diff.CopyFrom(a)
+	diff.AndNot(b)
+	if diff.Count() != 1 || !diff.Test(1) {
+		t.Fatalf("difference wrong: %d bits", diff.Count())
+	}
+
+	if !a.Equal(a) || a.Equal(b) {
+		t.Fatal("Equal broken")
+	}
+	c := New(100)
+	if a.Equal(c) {
+		t.Fatal("Equal across different capacities")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	want := []int{2, 63, 64, 65, 255, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPropertySetTestRoundTrip(t *testing.T) {
+	f := func(indices []uint16) bool {
+		s := New(1 << 16)
+		seen := map[int]bool{}
+		for _, raw := range indices {
+			i := int(raw)
+			s.Set(i)
+			seen[i] = true
+		}
+		for i := range seen {
+			if !s.Test(i) {
+				return false
+			}
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsExposure(t *testing.T) {
+	s := New(64)
+	s.Set(0)
+	s.Set(63)
+	w := s.Words()
+	if len(w) != 1 || w[0] != 1|1<<63 {
+		t.Fatalf("words = %x", w)
+	}
+}

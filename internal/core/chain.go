@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"fdiam/internal/graph"
+)
+
+// chains runs Chain Processing (Algorithm 4, §4.3). Every degree-1 vertex x
+// anchors a chain: x, followed by zero or more degree-2 vertices, ending at
+// the first vertex w whose degree is not 2. With s the chain length,
+// every vertex within s steps of w — including w itself — can be removed
+// from consideration while only x is kept active:
+//
+//   - if some other vertex z is also s steps from w, then
+//     ecc(w) = ecc(x) − s and, by Theorem 1, nothing within s of w can have
+//     a larger eccentricity than x;
+//   - otherwise the subgraph rooted at w (excluding the chain) is shallower
+//     than s, which makes x the global eccentricity maximum outright.
+//
+// Either way x dominates the removed ball, and with multiple chains the
+// domination argument composes: sequential processing re-activates each
+// anchor after its ball is eliminated, so an anchor is left removed only if
+// a later ball — whose own anchor dominates it — covered it.
+//
+// Chain Processing removes no vertex near the graph center, but it tends to
+// remove exactly the high-eccentricity periphery vertices that Winnow and
+// Eliminate cannot reach (§6.4).
+func (s *solver) chains() {
+	t0 := time.Now()
+	g := s.g
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		x := graph.Vertex(v)
+		if g.Degree(x) != 1 {
+			continue
+		}
+		// Only chains whose anchor is still under consideration are
+		// processed. An anchor already removed (winnowed, or covered
+		// by an earlier chain's ball) is dominated by whatever removed
+		// it; re-activating it — a literal reading of Algorithm 4
+		// line 9 — would undo Winnow's work and force one BFS per
+		// pendant vertex, contradicting the paper's reported BFS
+		// counts (e.g. 3 traversals on rmat16.sym, which is 5.7%
+		// degree-1 vertices).
+		if s.ecc[x] != Active {
+			continue
+		}
+		// Follow the chain of degree-2 vertices (forward direction:
+		// never step back to the previous vertex).
+		prev := x
+		cur := g.Neighbors(x)[0]
+		length := int32(1)
+		for g.Degree(cur) == 2 {
+			nb := g.Neighbors(cur)
+			next := nb[0]
+			if next == prev {
+				next = nb[1]
+			}
+			prev, cur = cur, next
+			length++
+		}
+		// Eliminate everything within `length` steps of the chain end
+		// (Algorithm 4 line 8 uses the sentinel pair MAX−len, MAX).
+		// A hub with many degree-1 leaves would be re-eliminated once
+		// per leaf; since Eliminate is idempotent removal, repeats
+		// with a radius not exceeding an earlier one are skipped.
+		if s.chainDone == nil {
+			s.chainDone = make(map[graph.Vertex]int32)
+		}
+		if done, ok := s.chainDone[cur]; !ok || length > done {
+			s.chainDone[cur] = length
+			s.eliminateFrom([]graph.Vertex{cur}, chainMax-length, chainMax, StageChain)
+			// Algorithm 5 never marks its source; remove the chain
+			// end explicitly ("we can safely remove all y vertices
+			// that have a degree-1 neighbor").
+			if s.ecc[cur] == Active {
+				s.ecc[cur] = chainMax - length
+				s.stage[cur] = StageChain
+				s.stats.RemovedChain++
+			}
+		}
+		// Keep the anchor under consideration (Algorithm 4 line 9).
+		s.reactivate(x)
+	}
+	s.stats.TimeChain += time.Since(t0)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fdiam/internal/graph"
+)
+
+// eliminateFrom is the Eliminate operation (Algorithm 5), generalized to
+// multiple sources so the eliminated-region extension of §4.5 is a single
+// multi-source partial BFS. Vertices at distance k from the seed set are
+// removed from consideration with the recorded upper bound startVal + k,
+// for k = 1 .. limit − startVal. The recorded bound is what later lets the
+// region be extended when the diameter bound grows: extension seeds are
+// exactly the vertices whose recorded value equals the old bound (the
+// outermost ring of each region).
+//
+// Eliminate runs serially: its worklists are typically tiny (§4.4), and the
+// multi-source extension is partial by construction.
+//
+// Write policy: an Active vertex is removed and attributed to attr; an
+// already-removed vertex keeps its state except that a *tighter* numeric
+// upper bound replaces a looser one (both are valid by the triangle
+// inequality, and keeping the minimum can only help later extensions).
+// Winnowed vertices are traversed but keep their sentinel, and exactly
+// computed eccentricities can never be "tightened" because every recorded
+// bound is ≥ the true eccentricity.
+func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr Stage) {
+	if startVal >= limit || len(seeds) == 0 {
+		return
+	}
+	s.stats.EliminateCalls++
+	s.e.Partial(seeds, limit-startVal, false, nil, func(level int32, frontier []graph.Vertex) {
+		val := startVal + level
+		for _, v := range frontier {
+			switch cur := s.ecc[v]; {
+			case cur == Active:
+				s.ecc[v] = val
+				s.stage[v] = attr
+				switch attr {
+				case StageChain:
+					s.stats.RemovedChain++
+				default:
+					s.stats.RemovedEliminate++
+				}
+			case cur != Winnowed && val < cur:
+				s.ecc[v] = val
+			}
+		}
+	})
+}
+
+// extendEliminated grows all previously eliminated regions after the bound
+// improved from old to s.bound (§4.5): instead of re-running Eliminate from
+// every previously evaluated vertex, one multi-source partial BFS starts
+// from every vertex whose recorded value equals the old bound — the
+// outermost ring of every region — and advances bound − old levels.
+func (s *solver) extendEliminated(old int32) {
+	var seeds []graph.Vertex
+	for v := 0; v < len(s.ecc); v++ {
+		if s.ecc[v] == old {
+			seeds = append(seeds, graph.Vertex(v))
+		}
+	}
+	s.eliminateFrom(seeds, old, s.bound, StageEliminate)
+}

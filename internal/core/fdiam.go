@@ -1,0 +1,247 @@
+package core
+
+import (
+	"time"
+
+	"fdiam/internal/bfs"
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
+
+// Diameter runs the F-Diam algorithm (Algorithm 1) on g and returns the
+// exact diameter together with the evaluation statistics the paper reports.
+// For disconnected inputs the result carries Infinite=true and Diameter
+// holds the largest eccentricity over all connected components, matching
+// the paper's output convention.
+func Diameter(g *graph.Graph, opt Options) Result {
+	s := newSolver(g, opt)
+	return s.run()
+}
+
+// solver holds the mutable state of one F-Diam run.
+type solver struct {
+	g   *graph.Graph
+	e   *bfs.Engine
+	opt Options
+
+	// ecc is the per-vertex state array: Active, Winnowed, an upper
+	// bound recorded by Eliminate/Chain, or a computed eccentricity.
+	// Any value below Active means "removed from consideration".
+	ecc []int32
+	// stage attributes each removal for the Table 4 accounting.
+	stage []Stage
+
+	bound int32
+	start graph.Vertex
+
+	// witnessA/witnessB track a vertex pair realizing the current bound:
+	// whenever a BFS establishes a new bound, its source and a vertex of
+	// its last frontier are exactly bound apart.
+	witnessA, witnessB graph.Vertex
+
+	// Winnow incremental-extension state: the frontier at exactly
+	// winnowDepth steps from start, from which the ball is extended
+	// when the bound grows (§4.5).
+	winnowFrontier []graph.Vertex
+	winnowDepth    int32
+
+	// chainDone records, per chain-end vertex, the largest chain length
+	// already eliminated around it, so hubs with many degree-1 neighbors
+	// are not re-eliminated once per leaf (a star would otherwise cost
+	// O(n²); skipping repeats is a pure no-op semantically because
+	// Eliminate is idempotent removal).
+	chainDone map[graph.Vertex]int32
+
+	deadline time.Time
+	stats    Stats
+}
+
+func newSolver(g *graph.Graph, opt Options) *solver {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	e := bfs.New(g, workers)
+	e.SetDirectionOptimized(!opt.DisableDirectionOpt)
+	s := &solver{
+		g:        g,
+		e:        e,
+		opt:      opt,
+		witnessA: graph.NoVertex,
+		witnessB: graph.NoVertex,
+	}
+	if opt.Timeout > 0 {
+		s.deadline = time.Now().Add(opt.Timeout)
+	}
+	return s
+}
+
+func (s *solver) timedOut() bool {
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
+func (s *solver) run() Result {
+	tStart := time.Now()
+	n := s.g.NumVertices()
+	s.stats.Vertices = n
+	if n == 0 {
+		return Result{WitnessA: graph.NoVertex, WitnessB: graph.NoVertex, Stats: s.stats}
+	}
+
+	// Initialization: state arrays and the degree-0 pass. Isolated
+	// vertices have eccentricity 0 and need no BFS (Table 4's last
+	// column).
+	tInit := time.Now()
+	s.ecc = make([]int32, n)
+	s.stage = make([]Stage, n)
+	par.For(n, s.e.Workers(), 0, func(i int) { s.ecc[i] = Active })
+	firstNonIsolated := -1
+	for v := 0; v < n; v++ {
+		if s.g.Degree(graph.Vertex(v)) == 0 {
+			s.ecc[v] = 0
+			s.stage[v] = StageDegree0
+			s.stats.RemovedDegree0++
+		} else if firstNonIsolated < 0 {
+			firstNonIsolated = v
+		}
+	}
+	s.stats.TimeInit = time.Since(tInit)
+	if firstNonIsolated < 0 {
+		// Edgeless graph: every eccentricity is 0 and no pair of
+		// distinct vertices witnesses a positive diameter.
+		s.stats.TimeTotal = time.Since(tStart)
+		return Result{
+			Diameter: 0, Infinite: n > 1,
+			WitnessA: graph.NoVertex, WitnessB: graph.NoVertex,
+			Stats: s.stats,
+		}
+	}
+
+	// Starting vertex: the maximum-degree vertex u (§3), or — for the
+	// "no 'u'" ablation — the first vertex with at least one edge.
+	if s.opt.StartAtVertexZero {
+		s.start = graph.Vertex(firstNonIsolated)
+	} else {
+		s.start = s.g.MaxDegreeVertex()
+	}
+
+	// Initial diameter via 2-sweep (§4.1): ecc(u), then the eccentricity
+	// of a vertex w maximally far from u becomes the initial bound.
+	tEcc := time.Now()
+	uEcc := s.e.Eccentricity(s.start)
+	s.stats.EccBFS++
+	reached := s.e.Reached()
+	s.setComputed(s.start, uEcc)
+	w := s.e.LastFrontier()[0]
+	s.bound = uEcc
+	s.witnessA, s.witnessB = s.start, w
+	if w != s.start {
+		wEcc := s.e.Eccentricity(w)
+		s.stats.EccBFS++
+		s.setComputed(w, wEcc)
+		if wEcc > s.bound {
+			s.bound = wEcc
+			s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
+		}
+	}
+	s.stats.TimeEcc += time.Since(tEcc)
+
+	// A BFS from start reaches exactly its component; together with the
+	// isolated-vertex count this decides connectivity with no extra pass.
+	infinite := n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
+
+	// Winnow around the starting vertex (§4.2). Winnow subsumes what an
+	// Eliminate around u could remove (Theorem 3: ecc(u) ≥ bound/2, so
+	// the winnow radius ⌊bound/2⌋ is at least the eliminate radius
+	// bound − ecc(u)), which is why F-Diam never Eliminates around u
+	// (§4.5) — and why the "no Winnow" ablation leaves the initial
+	// pruning out entirely, as in the paper's Table 5.
+	if !s.opt.DisableWinnow {
+		s.winnow()
+	}
+
+	// Chain Processing (§4.3).
+	if !s.opt.DisableChain {
+		s.chains()
+	}
+
+	// Main loop (Algorithm 1): evaluate the remaining active vertices.
+	timedOut := false
+	for v := 0; v < n; v++ {
+		if s.ecc[v] != Active {
+			continue
+		}
+		if s.timedOut() {
+			timedOut = true
+			break
+		}
+		tEcc = time.Now()
+		vecc := s.e.Eccentricity(graph.Vertex(v))
+		s.stats.EccBFS++
+		s.stats.TimeEcc += time.Since(tEcc)
+		s.setComputed(graph.Vertex(v), vecc)
+		switch {
+		case vecc > s.bound:
+			// New lower bound for the diameter: extend the winnow
+			// ball and all prior eliminated regions (§4.5).
+			old := s.bound
+			s.bound = vecc
+			s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
+			s.stats.BoundImprovements++
+			if !s.opt.DisableWinnow {
+				s.winnow()
+			}
+			if !s.opt.DisableEliminate {
+				tEl := time.Now()
+				s.extendEliminated(old)
+				s.stats.TimeEliminate += time.Since(tEl)
+			}
+		case vecc < s.bound && !s.opt.DisableEliminate:
+			// Theorem 1: everything within bound−ecc(v) of v
+			// cannot beat the bound (§4.4).
+			tEl := time.Now()
+			s.eliminateFrom([]graph.Vertex{graph.Vertex(v)}, vecc, s.bound, StageEliminate)
+			s.stats.TimeEliminate += time.Since(tEl)
+		default:
+			// vecc == bound: only v itself is removed (already
+			// done by setComputed).
+		}
+	}
+
+	s.stats.TimeTotal = time.Since(tStart)
+	return Result{
+		Diameter: s.bound,
+		Infinite: infinite,
+		TimedOut: timedOut,
+		WitnessA: s.witnessA,
+		WitnessB: s.witnessB,
+		Stats:    s.stats,
+	}
+}
+
+// setComputed records an exactly computed eccentricity, which also removes
+// the vertex from consideration (any write below Active does, per §4).
+func (s *solver) setComputed(v graph.Vertex, ecc int32) {
+	s.ecc[v] = ecc
+	s.stage[v] = StageComputed
+	s.stats.Computed++
+}
+
+// reactivate puts a vertex back under consideration, undoing the removal
+// bookkeeping. Chain Processing uses it to keep chain anchors active
+// (Algorithm 4 line 9). Vertices whose exact eccentricity is already known
+// stay removed — their value is already reflected in the bound.
+func (s *solver) reactivate(v graph.Vertex) {
+	switch s.stage[v] {
+	case StageWinnow:
+		s.stats.RemovedWinnow--
+	case StageChain:
+		s.stats.RemovedChain--
+	case StageEliminate:
+		s.stats.RemovedEliminate--
+	default:
+		return // active, computed, or degree-0: nothing to undo
+	}
+	s.ecc[v] = Active
+	s.stage[v] = StageActive
+}

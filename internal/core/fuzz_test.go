@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"fdiam/internal/ecc"
+	"fdiam/internal/graph"
+)
+
+// graphFromBytes deterministically decodes a byte string into a small
+// graph: pairs of bytes become edges over ≤ 48 vertices. Gives the fuzzer
+// full control over the topology.
+func graphFromBytes(data []byte) *graph.Graph {
+	const n = 48
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(data); i += 2 {
+		b.AddEdge(graph.Vertex(data[i]%n), graph.Vertex(data[i+1]%n))
+	}
+	return b.Build()
+}
+
+// FuzzDiameterMatchesNaive cross-checks F-Diam (all feature combinations)
+// against the brute-force diameter on fuzzer-generated topologies. Run the
+// corpus as part of `go test`; explore with `go test -fuzz=FuzzDiameter`.
+func FuzzDiameterMatchesNaive(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 2, 2, 3})
+	f.Add([]byte{0, 0, 1, 1})                   // self-loops only
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // matching (disconnected)
+	f.Add([]byte{0, 1, 1, 2, 2, 0, 3, 4})       // triangle + edge
+	f.Add([]byte{5, 6, 6, 7, 7, 8, 8, 5, 5, 9, 9, 10, 10, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return
+		}
+		g := graphFromBytes(data)
+		want := ecc.Diameter(g, 1)
+		for _, opt := range []Options{
+			{},
+			{Workers: 1},
+			{DisableWinnow: true},
+			{DisableEliminate: true},
+			{DisableChain: true},
+			{StartAtVertexZero: true},
+		} {
+			got := Diameter(g, opt)
+			if got.Diameter != want {
+				t.Fatalf("opt %+v: diameter %d, want %d (edges %v)",
+					opt, got.Diameter, want, g.Edges())
+			}
+		}
+	})
+}

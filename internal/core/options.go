@@ -1,0 +1,48 @@
+package core
+
+import "time"
+
+// Options configures a Diameter computation. The zero value requests the
+// full parallel F-Diam algorithm with default parallelism.
+type Options struct {
+	// Workers sets the number of parallel workers used inside each BFS.
+	// 0 selects GOMAXPROCS; 1 selects the serial implementation
+	// (the paper's "F-Diam (ser)").
+	Workers int
+
+	// DisableWinnow turns Winnow off (the "no Winnow" ablation of
+	// Table 5 / Figure 9): the initial pruning is left out entirely, as
+	// in the paper's ablation, so all removals fall to Eliminate and
+	// Chain Processing in the main loop.
+	DisableWinnow bool
+
+	// DisableEliminate turns Eliminate and eliminated-region extension
+	// off (the "no Elim." ablation).
+	DisableEliminate bool
+
+	// DisableChain turns Chain Processing off. The paper does not ablate
+	// this stage in Table 5, but it is useful for studying chains.
+	DisableChain bool
+
+	// StartAtVertexZero starts the 2-sweep and Winnow from vertex 0
+	// instead of the maximum-degree vertex u (the "no 'u'" ablation).
+	StartAtVertexZero bool
+
+	// DisableDirectionOpt forces plain top-down BFS, disabling the
+	// bottom-up switch of the direction-optimized hybrid. Useful for
+	// measuring how much the hybrid contributes.
+	DisableDirectionOpt bool
+
+	// Timeout aborts the computation after the given wall-clock duration
+	// (checked between BFS calls). Zero means no limit. A timed-out run
+	// reports TimedOut in the Result; Diameter then holds the best lower
+	// bound found so far, mirroring the paper's "T/O" entries.
+	Timeout time.Duration
+}
+
+// Serial returns options for the serial F-Diam variant.
+func Serial() Options { return Options{Workers: 1} }
+
+// Parallel returns options for the parallel F-Diam variant with default
+// parallelism.
+func Parallel() Options { return Options{} }

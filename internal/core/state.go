@@ -1,0 +1,67 @@
+// Package core implements the F-Diam algorithm (Algorithms 1–5 of the
+// paper): the 2-sweep initial bound, the novel Winnowing and Chain
+// Processing techniques, the Eliminate operation, incremental extension of
+// winnowed/eliminated regions, and the main loop that drives the remaining
+// eccentricity computations.
+package core
+
+import "math"
+
+// Vertex-state encoding, stored in one int32 per vertex (the paper's
+// per-vertex "ecc" field). Any value below Active means the vertex has been
+// removed from consideration; removal never deletes the vertex from the
+// graph — it only means its eccentricity need not be computed (paper
+// footnote 1).
+const (
+	// Active marks a vertex whose eccentricity may still need computing.
+	// The paper uses INT_MAX for this role ("F-Diam treats vertices with
+	// eccentricities less than INT_MAX as having been removed").
+	Active int32 = math.MaxInt32
+
+	// Winnowed marks a vertex discarded by the Winnow operation. Unlike
+	// eliminated vertices it carries no eccentricity upper bound (none is
+	// known — winnowing can even discard vertices whose eccentricity
+	// exceeds the current bound, which is the key novelty of Theorem 2).
+	Winnowed int32 = -1
+
+	// chainMax is the paper's MAX = INT_MAX − 1 used by Chain Processing
+	// (Algorithm 4): the chain's end vertex is eliminated with the
+	// sentinel bound pair (MAX − len, MAX), which removes everything
+	// within len steps without asserting a meaningful numeric bound.
+	chainMax int32 = math.MaxInt32 - 1
+)
+
+// Stage attributes each vertex removal to the technique responsible, which
+// the paper reports in Table 4.
+type Stage uint8
+
+// Removal attributions, in Table 4 column order.
+const (
+	StageActive    Stage = iota // still under consideration
+	StageDegree0                // isolated vertex, ecc = 0, no BFS needed
+	StageWinnow                 // removed by Winnow (§4.2)
+	StageChain                  // removed by Chain Processing (§4.3)
+	StageEliminate              // removed by Eliminate (§4.4) or region extension (§4.5)
+	StageComputed               // eccentricity computed explicitly via BFS
+	numStages
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s Stage) String() string {
+	switch s {
+	case StageActive:
+		return "active"
+	case StageDegree0:
+		return "degree-0"
+	case StageWinnow:
+		return "winnow"
+	case StageChain:
+		return "chain"
+	case StageEliminate:
+		return "eliminate"
+	case StageComputed:
+		return "computed"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats records everything the paper's evaluation section reports about a
+// single F-Diam run: the BFS-traversal count (Table 3, counting
+// eccentricity BFS calls plus Winnow invocations), per-stage removal counts
+// (Table 4), and per-stage wall-clock time (Figure 8).
+type Stats struct {
+	Vertices int
+
+	// EccBFS is the number of eccentricity-computing BFS traversals,
+	// including the two 2-sweep traversals.
+	EccBFS int64
+	// WinnowCalls is the number of Winnow invocations (initial + each
+	// incremental extension). The paper counts these as BFS traversals
+	// in Table 3 because a Winnow typically covers most of the graph.
+	WinnowCalls int64
+	// EliminateCalls counts Eliminate invocations plus multi-source
+	// region extensions. Not counted as BFS traversals (paper §6.3).
+	EliminateCalls int64
+	// BoundImprovements counts how often the main loop found a vertex
+	// whose eccentricity exceeded the current bound.
+	BoundImprovements int64
+
+	// Removal attribution (Table 4): how many vertices each stage
+	// removed from consideration.
+	RemovedWinnow    int64
+	RemovedEliminate int64
+	RemovedChain     int64
+	RemovedDegree0   int64
+	Computed         int64 // vertices whose eccentricity was computed explicitly
+
+	// Stage timings (Figure 8).
+	TimeInit      time.Duration // setup: state arrays, degree-0 pass
+	TimeEcc       time.Duration // eccentricity BFS traversals (incl. 2-sweep)
+	TimeWinnow    time.Duration
+	TimeChain     time.Duration
+	TimeEliminate time.Duration
+	TimeTotal     time.Duration
+}
+
+// BFSTraversals returns the paper's Table 3 metric.
+func (s *Stats) BFSTraversals() int64 { return s.EccBFS + s.WinnowCalls }
+
+// PctWinnow returns the percentage of vertices removed by Winnow (Table 4).
+func (s *Stats) PctWinnow() float64 { return pct(s.RemovedWinnow, s.Vertices) }
+
+// PctEliminate returns the percentage removed by Eliminate (Table 4).
+func (s *Stats) PctEliminate() float64 { return pct(s.RemovedEliminate, s.Vertices) }
+
+// PctChain returns the percentage removed by Chain Processing (Table 4).
+func (s *Stats) PctChain() float64 { return pct(s.RemovedChain, s.Vertices) }
+
+// PctDegree0 returns the percentage of isolated vertices (Table 4).
+func (s *Stats) PctDegree0() float64 { return pct(s.RemovedDegree0, s.Vertices) }
+
+// PctComputed returns the percentage of vertices whose eccentricity had to
+// be computed explicitly.
+func (s *Stats) PctComputed() float64 { return pct(s.Computed, s.Vertices) }
+
+// TimeOther returns total minus the accounted stages (Figure 8's "other").
+func (s *Stats) TimeOther() time.Duration {
+	other := s.TimeTotal - s.TimeInit - s.TimeEcc - s.TimeWinnow - s.TimeChain - s.TimeEliminate
+	if other < 0 {
+		other = 0
+	}
+	return other
+}
+
+func pct(count int64, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(count) / float64(total)
+}
+
+// String renders a compact multi-metric summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"bfs=%d (ecc=%d winnow=%d) elim-calls=%d removed: winnow=%.2f%% elim=%.2f%% chain=%.2f%% deg0=%.2f%% computed=%.2f%% total=%v",
+		s.BFSTraversals(), s.EccBFS, s.WinnowCalls, s.EliminateCalls,
+		s.PctWinnow(), s.PctEliminate(), s.PctChain(), s.PctDegree0(), s.PctComputed(),
+		s.TimeTotal.Round(time.Microsecond))
+}
+
+// Result is the outcome of a Diameter computation.
+type Result struct {
+	// Diameter is the largest eccentricity found over all connected
+	// components — the paper's "CC diameter" (Table 1). For a connected
+	// graph this is the exact graph diameter.
+	Diameter int32
+	// Infinite reports that the input was disconnected (two or more
+	// components, counting isolated vertices), in which case the true
+	// diameter is infinite; Diameter then still holds the largest
+	// component-internal eccentricity, matching the paper's output.
+	Infinite bool
+	// TimedOut reports that Options.Timeout expired; Diameter is then
+	// only a lower bound.
+	TimedOut bool
+	// WitnessA and WitnessB are a vertex pair realizing the diameter:
+	// ecc(WitnessA) = Diameter and d(WitnessA, WitnessB) = Diameter.
+	// Both are NoVertex (MaxUint32) only for graphs with no edges.
+	WitnessA, WitnessB uint32
+	// Stats holds the evaluation metrics for this run.
+	Stats Stats
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
+
+// winnow removes every vertex within ⌊bound/2⌋ steps of the starting vertex
+// from consideration (Algorithm 3). By Theorem 3 no eccentricity is below
+// half the diameter, and by Theorem 2 at least two vertices attain the
+// diameter, so if a pair farther apart than the current bound exists, at
+// least one endpoint lies outside the ball — winnowing the ball is safe even
+// though it may discard vertices whose eccentricity exceeds the bound.
+//
+// Winnowing must be centered at a single vertex for the Theorem 2 argument
+// to hold; when the bound grows, the ball is extended incrementally from
+// the saved frontier instead of being re-traversed (§4.5). The call is a
+// no-op when the ball radius did not grow, which is why F-Diam only
+// re-winnows when the bound increases by at least 2.
+func (s *solver) winnow() {
+	depth := s.bound / 2
+	first := s.winnowFrontier == nil
+	if !first && depth <= s.winnowDepth {
+		return
+	}
+	t0 := time.Now()
+	s.stats.WinnowCalls++
+
+	var seeds []graph.Vertex
+	var levels int32
+	var skip func(graph.Vertex) bool
+	if first {
+		seeds = []graph.Vertex{s.start}
+		levels = depth
+	} else {
+		// Resume from the saved frontier (vertices at exactly
+		// winnowDepth steps from start). Skipping already-winnowed
+		// vertices is exact: a shortest path from the old frontier to
+		// any vertex beyond it never re-enters the ball interior.
+		seeds = s.winnowFrontier
+		levels = depth - s.winnowDepth
+		skip = func(v graph.Vertex) bool { return s.ecc[v] == Winnowed }
+	}
+
+	workers := s.e.Workers()
+	parallel := workers > 1
+	s.e.Partial(seeds, levels, parallel, skip, func(level int32, frontier []graph.Vertex) {
+		s.markWinnowed(frontier, workers)
+	})
+
+	// LastFrontier always contains at least the seeds, so winnowFrontier
+	// becomes non-nil here, which is what marks the first call as done.
+	s.winnowFrontier = append(s.winnowFrontier[:0], s.e.LastFrontier()...)
+	s.winnowDepth = depth
+	s.stats.TimeWinnow += time.Since(t0)
+}
+
+// markWinnowed removes all Active vertices of a frontier. Vertices that
+// already carry information (a computed eccentricity or an Eliminate upper
+// bound) keep it — they are removed either way, and the recorded value may
+// still seed a later region extension.
+func (s *solver) markWinnowed(frontier []graph.Vertex, workers int) {
+	if workers > 1 && len(frontier) >= 4096 {
+		var removed int64
+		par.ForRange(len(frontier), workers, 0, func(lo, hi int) {
+			local := int64(0)
+			for _, v := range frontier[lo:hi] {
+				if s.ecc[v] == Active {
+					s.ecc[v] = Winnowed
+					s.stage[v] = StageWinnow
+					local++
+				}
+			}
+			atomic.AddInt64(&removed, local)
+		})
+		s.stats.RemovedWinnow += removed
+		return
+	}
+	for _, v := range frontier {
+		if s.ecc[v] == Active {
+			s.ecc[v] = Winnowed
+			s.stage[v] = StageWinnow
+			s.stats.RemovedWinnow++
+		}
+	}
+}

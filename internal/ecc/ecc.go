@@ -1,0 +1,95 @@
+// Package ecc provides eccentricity utilities: the brute-force reference
+// (one BFS per vertex, the APSP-by-BFS approach the paper's introduction
+// starts from), all-vertex eccentricities, and derived quantities — radius,
+// center, and periphery. The brute-force path is the ground truth every
+// optimized algorithm in this repository is tested against.
+package ecc
+
+import (
+	"math"
+
+	"fdiam/internal/bfs"
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
+
+// All computes the eccentricity of every vertex with one BFS per vertex,
+// parallelized over sources. Isolated vertices have eccentricity 0;
+// eccentricities are per connected component (BFS semantics). O(nm) — use
+// only on small graphs or as ground truth.
+func All(g *graph.Graph, workers int) []int32 {
+	n := g.NumVertices()
+	out := make([]int32, n)
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	// One serial engine per worker; sources are distributed dynamically.
+	engines := make([]*bfs.Engine, workers)
+	for i := range engines {
+		engines[i] = bfs.New(g, 1)
+	}
+	par.ForWorker(n, workers, 16, func(worker, lo, hi int) {
+		e := engines[worker]
+		for v := lo; v < hi; v++ {
+			out[v] = e.Eccentricity(graph.Vertex(v))
+		}
+	})
+	return out
+}
+
+// Info summarizes the eccentricity distribution of a graph.
+type Info struct {
+	// Diameter is the largest eccentricity over all components (the
+	// paper's "CC diameter").
+	Diameter int32
+	// Radius is the smallest eccentricity over all vertices. For a
+	// connected graph this is the graph radius; on disconnected inputs
+	// it is per-component (an isolated vertex yields 0).
+	Radius int32
+	// Center lists the vertices attaining Radius.
+	Center []graph.Vertex
+	// Periphery lists the vertices attaining Diameter.
+	Periphery []graph.Vertex
+	// Eccs holds the per-vertex eccentricities.
+	Eccs []int32
+}
+
+// Compute derives Info from a graph using the brute-force method.
+func Compute(g *graph.Graph, workers int) Info {
+	eccs := All(g, workers)
+	info := Info{Eccs: eccs, Radius: math.MaxInt32}
+	for _, e := range eccs {
+		if e > info.Diameter {
+			info.Diameter = e
+		}
+	}
+	for v, e := range eccs {
+		if e == info.Diameter {
+			info.Periphery = append(info.Periphery, graph.Vertex(v))
+		}
+		if e < info.Radius {
+			info.Radius = e
+		}
+	}
+	for v, e := range eccs {
+		if e == info.Radius {
+			info.Center = append(info.Center, graph.Vertex(v))
+		}
+	}
+	if len(eccs) == 0 {
+		info.Radius = 0
+	}
+	return info
+}
+
+// Diameter returns the brute-force diameter (largest eccentricity over all
+// components). Ground truth for tests.
+func Diameter(g *graph.Graph, workers int) int32 {
+	var d int32
+	for _, e := range All(g, workers) {
+		if e > d {
+			d = e
+		}
+	}
+	return d
+}

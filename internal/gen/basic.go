@@ -1,0 +1,164 @@
+package gen
+
+import "fdiam/internal/graph"
+
+// Path returns the path graph on n vertices (diameter n−1). The extreme
+// chain-processing case: the whole graph is one chain.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(graph.Vertex(v), graph.Vertex(v+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices (diameter ⌊n/2⌋). The paper's
+// worst case: every vertex has the same eccentricity, so Winnow removes
+// fewer than half the vertices and neither Chain nor Eliminate applies.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.Vertex(v), graph.Vertex((v+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: vertex 0 connected to n−1 leaves
+// (diameter 2 for n ≥ 3). Stress case for Chain Processing hubs.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, graph.Vertex(v))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n (diameter 1 for n ≥ 2).
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for a := 0; a < n; a++ {
+		for c := a + 1; c < n; c++ {
+			b.AddEdge(graph.Vertex(a), graph.Vertex(c))
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D returns the w×h 4-neighbor grid (diameter w+h−2). Stand-in for
+// the paper's 2d-2e20.sym Lonestar input.
+func Grid2D(w, h int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) graph.Vertex { return graph.Vertex(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TriangularGrid returns the w×h grid with one diagonal per cell — a planar
+// triangulation with degree ≤ 6, the same topology class as the paper's
+// delaunay_n24 input (average degree 6, large diameter).
+func TriangularGrid(w, h int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) graph.Vertex { return graph.Vertex(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+			if x+1 < w && y+1 < h {
+				b.AddEdge(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BinaryTree returns a complete binary tree with the given number of
+// levels (n = 2^levels − 1; diameter 2·(levels−1)).
+func BinaryTree(levels int) *graph.Graph {
+	n := (1 << levels) - 1
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.Vertex(v), graph.Vertex((v-1)/2))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length spine with legs degree-1 vertices
+// attached to every spine vertex. Rich in chains of length 1.
+func Caterpillar(spine, legs int) *graph.Graph {
+	b := graph.NewBuilder(spine * (legs + 1))
+	for v := 0; v+1 < spine; v++ {
+		b.AddEdge(graph.Vertex(v), graph.Vertex(v+1))
+	}
+	next := graph.Vertex(spine)
+	for v := 0; v < spine; v++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(graph.Vertex(v), next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// Lollipop returns a clique of size k with a path of length tail attached —
+// the canonical example where the chain's "no second vertex z at distance
+// s" case applies (§4.3).
+func Lollipop(k, tail int) *graph.Graph {
+	b := graph.NewBuilder(k + tail)
+	for a := 0; a < k; a++ {
+		for c := a + 1; c < k; c++ {
+			b.AddEdge(graph.Vertex(a), graph.Vertex(c))
+		}
+	}
+	prev := graph.Vertex(0)
+	for t := 0; t < tail; t++ {
+		b.AddEdge(prev, graph.Vertex(k+t))
+		prev = graph.Vertex(k + t)
+	}
+	return b.Build()
+}
+
+// Barbell returns two k-cliques joined by a path with bridge interior
+// vertices (diameter bridge+3 for k ≥ 2).
+func Barbell(k, bridge int) *graph.Graph {
+	b := graph.NewBuilder(2*k + bridge)
+	for a := 0; a < k; a++ {
+		for c := a + 1; c < k; c++ {
+			b.AddEdge(graph.Vertex(a), graph.Vertex(c))
+			b.AddEdge(graph.Vertex(k+bridge+a), graph.Vertex(k+bridge+c))
+		}
+	}
+	prev := graph.Vertex(0)
+	for t := 0; t < bridge; t++ {
+		b.AddEdge(prev, graph.Vertex(k+t))
+		prev = graph.Vertex(k + t)
+	}
+	b.AddEdge(prev, graph.Vertex(k+bridge))
+	return b.Build()
+}
+
+// Disjoint unions two graphs into one disconnected graph (vertices of b
+// are shifted by a.NumVertices()).
+func Disjoint(a, c *graph.Graph) *graph.Graph {
+	na := a.NumVertices()
+	b := graph.NewBuilder(na + c.NumVertices())
+	for _, e := range a.Edges() {
+		b.AddEdge(e.A, e.B)
+	}
+	for _, e := range c.Edges() {
+		b.AddEdge(e.A+graph.Vertex(na), e.B+graph.Vertex(na))
+	}
+	return b.Build()
+}

@@ -1,0 +1,46 @@
+package gen
+
+import "testing"
+
+// Generator micro-benchmarks: catalog build time matters for the
+// experiment harness (the stand-ins are regenerated per process).
+
+func BenchmarkGrid2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Grid2D(256, 256)
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(14, 8, DefaultRMAT, 1)
+	}
+}
+
+func BenchmarkCoreWhiskers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CoreWhiskers(1<<16, 6, 0.15, 9, 1)
+	}
+}
+
+func BenchmarkRoadNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RoadNetwork(128, 128, 0.3, 1)
+	}
+}
+
+func BenchmarkSubdivide(b *testing.B) {
+	base := RoadNetwork(128, 128, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Subdivide(base, 4)
+	}
+}
+
+func BenchmarkRandomGeometric(b *testing.B) {
+	r := RadiusForDegree(1<<14, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomGeometric(1<<14, r, 1)
+	}
+}

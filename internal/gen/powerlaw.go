@@ -1,0 +1,160 @@
+package gen
+
+import "fdiam/internal/graph"
+
+// RMATParams holds the recursive-matrix quadrant probabilities.
+type RMATParams struct {
+	A, B, C float64 // D = 1 − A − B − C
+}
+
+// DefaultRMAT matches the Lonestar rmatN.sym inputs' parameter family
+// (skewed, power-law degrees, small diameter).
+var DefaultRMAT = RMATParams{A: 0.45, B: 0.22, C: 0.22}
+
+// KroneckerParams matches the Graph500 Kronecker generator used for the
+// paper's kron_g500-logn21 input: very skewed, many isolated vertices,
+// tiny diameter, huge max degree.
+var KroneckerParams = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and
+// edgeFactor·2^scale undirected edges (before dedup), symmetrized. This is
+// the generator behind rmat16.sym, rmat22.sym, and — with KroneckerParams —
+// kron_g500-logn21.
+func RMAT(scale, edgeFactor int, p RMATParams, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	n := 1 << scale
+	b := graph.NewBuilder(n)
+	edges := edgeFactor * n
+	ab := p.A + p.B
+	abc := p.A + p.B + p.C
+	for i := 0; i < edges; i++ {
+		var src, dst int
+		for bit := 0; bit < scale; bit++ {
+			f := r.Float64()
+			switch {
+			case f < p.A:
+				// top-left quadrant: no bits set
+			case f < ab:
+				dst |= 1 << bit
+			case f < abc:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		b.AddEdge(graph.Vertex(src), graph.Vertex(dst))
+	}
+	return b.Build()
+}
+
+// Kronecker generates a Graph500-style Kronecker graph (RMAT with the
+// Graph500 quadrant probabilities).
+func Kronecker(scale, edgeFactor int, seed uint64) *graph.Graph {
+	return RMAT(scale, edgeFactor, KroneckerParams, seed)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches k edges to existing vertices with probability proportional to
+// their degree (implemented with the standard repeated-endpoint trick).
+// Power-law degrees, small diameter — a stand-in for social networks such
+// as soc-LiveJournal1.
+func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.NewBuilder(n).Build()
+	}
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	// endpoints records every edge endpoint; sampling a uniform element
+	// is sampling proportional to degree.
+	endpoints := make([]graph.Vertex, 0, 2*n*k)
+	b.AddEdge(0, 1)
+	endpoints = append(endpoints, 0, 1)
+	for v := 2; v < n; v++ {
+		deg := k
+		if deg > v {
+			deg = v
+		}
+		for e := 0; e < deg; e++ {
+			t := endpoints[r.Intn(len(endpoints))]
+			b.AddEdge(graph.Vertex(v), t)
+			endpoints = append(endpoints, graph.Vertex(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// CopyModel generates a web-like graph (the "copying model"): each new
+// vertex picks a random prototype and, per link, copies one of the
+// prototype's neighbors with probability copyProb or links uniformly at
+// random otherwise. Produces power-law degrees with locally clustered
+// link structure, the topology class of in-2004 and uk-2002.
+func CopyModel(n, outDeg int, copyProb float64, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.NewBuilder(n).Build()
+	}
+	r := NewRNG(seed)
+	adj := make([][]graph.Vertex, n)
+	addEdge := func(a, c graph.Vertex) {
+		adj[a] = append(adj[a], c)
+		adj[c] = append(adj[c], a)
+	}
+	addEdge(0, 1)
+	for v := 2; v < n; v++ {
+		proto := graph.Vertex(r.Intn(v))
+		deg := outDeg
+		if deg > v {
+			deg = v
+		}
+		for e := 0; e < deg; e++ {
+			var t graph.Vertex
+			if len(adj[proto]) > 0 && r.Bool(copyProb) {
+				t = adj[proto][r.Intn(len(adj[proto]))]
+			} else {
+				t = graph.Vertex(r.Intn(v))
+			}
+			if t != graph.Vertex(v) {
+				addEdge(graph.Vertex(v), t)
+			}
+		}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// WithPendants attaches `count` degree-1 vertices to random vertices of g,
+// creating chain anchors. Used by tests and by the internet-topology
+// stand-in (AS graphs have many degree-1 stubs).
+func WithPendants(g *graph.Graph, count int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	n := g.NumVertices()
+	b := graph.NewBuilder(n + count)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.A, e.B)
+	}
+	for i := 0; i < count; i++ {
+		b.AddEdge(graph.Vertex(n+i), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// WithChains attaches `count` chains (paths) of the given length to random
+// vertices of g. Each chain ends in a degree-1 anchor, exercising the full
+// Chain Processing walk.
+func WithChains(g *graph.Graph, count, length int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	n := g.NumVertices()
+	b := graph.NewBuilder(n + count*length)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.A, e.B)
+	}
+	next := graph.Vertex(n)
+	for i := 0; i < count; i++ {
+		prev := graph.Vertex(r.Intn(n))
+		for l := 0; l < length; l++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"math"
+
+	"fdiam/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, m) random graph: m undirected edges sampled
+// uniformly (duplicates and self-loops dropped by the builder, so the
+// realized edge count can be slightly below m).
+func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (random attachment: vertex v attaches to a uniform earlier vertex, then
+// labels are shuffled). Connected by construction.
+func RandomTree(n int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	perm := r.Perm(n)
+	for v := 1; v < n; v++ {
+		p := r.Intn(v)
+		b.AddEdge(graph.Vertex(perm[v]), graph.Vertex(perm[p]))
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a connected random graph: a random tree plus
+// `extra` additional uniform edges. The workhorse of the property-based
+// test suite.
+func RandomConnected(n, extra int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	perm := r.Perm(n)
+	for v := 1; v < n; v++ {
+		p := r.Intn(v)
+		b.AddEdge(graph.Vertex(perm[v]), graph.Vertex(perm[p]))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, edges between pairs closer than radius. Planar-ish local
+// topology with a large diameter — the same class as Delaunay
+// triangulations and a second stand-in for delaunay_n24.
+// RadiusForDegree picks the radius for a target average degree.
+func RandomGeometric(n int, radius float64, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	// Bucket grid of cell size radius: only the 3×3 neighborhood of a
+	// point's cell can contain neighbors.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	buckets := make([][]int32, cells*cells)
+	for i := 0; i < n; i++ {
+		c := cellOf(ys[i])*cells + cellOf(xs[i])
+		buckets[c] = append(buckets[c], int32(i))
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i]), cellOf(ys[i])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range buckets[ny*cells+nx] {
+					if int(j) <= i {
+						continue
+					}
+					ddx := xs[i] - xs[j]
+					ddy := ys[i] - ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RadiusForDegree returns the connection radius that gives a random
+// geometric graph on n points an expected average degree of deg.
+func RadiusForDegree(n int, deg float64) float64 {
+	return math.Sqrt(deg / (math.Pi * float64(n)))
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbors on each side, with each edge
+// rewired to a random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			w := (v + d) % n
+			if r.Bool(beta) {
+				w = r.Intn(n)
+			}
+			b.AddEdge(graph.Vertex(v), graph.Vertex(w))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,73 @@
+// Package gen generates the synthetic graphs used throughout this
+// repository: deterministic stand-ins for the paper's 17 input graphs
+// (grids, RMAT, Kronecker, road networks, power-law web/social graphs,
+// geometric triangulation analogs) plus adversarial shapes for the test
+// suite (paths, stars, lollipops, caterpillars).
+//
+// All generators are deterministic functions of their parameters and seed,
+// so every experiment is reproducible bit-for-bit.
+package gen
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator: tiny, fast, and — unlike
+// math/rand's global state — trivially reproducible across runs and
+// goroutines.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// Uint32n returns a uniformly distributed uint32 in [0, n).
+func (r *RNG) Uint32n(n uint32) uint32 {
+	return uint32(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

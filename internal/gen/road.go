@@ -1,0 +1,111 @@
+package gen
+
+import "fdiam/internal/graph"
+
+// RoadNetwork generates a road-map-like graph: a random spanning tree of
+// the w×h grid plus a fraction of the remaining grid edges. The result is
+// connected, has average degree ≈ 2 + 2·extraFrac (road maps sit around
+// 2.1–2.8, see the paper's europe_osm and USA-road-d rows), a handful of
+// degree-1 dead ends (chain anchors), and a very large diameter — the
+// topology class where the paper's no-Eliminate ablation times out.
+func RoadNetwork(w, h int, extraFrac float64, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	n := w * h
+	id := func(x, y int) graph.Vertex { return graph.Vertex(y*w + x) }
+
+	// Collect all grid edges in random order.
+	type edge struct{ a, b graph.Vertex }
+	edges := make([]edge, 0, 2*n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, edge{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, edge{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	for i := len(edges) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+
+	// Kruskal-style: the first edge joining two components goes into the
+	// spanning tree; non-tree edges are kept with probability extraFrac.
+	uf := newUnionFind(n)
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if uf.union(int(e.a), int(e.b)) {
+			b.AddEdge(e.a, e.b)
+		} else if r.Bool(extraFrac) {
+			b.AddEdge(e.a, e.b)
+		}
+	}
+	return b.Build()
+}
+
+// Subdivide replaces every edge of g with a path of k edges by inserting
+// k−1 fresh degree-2 vertices, scaling every pairwise distance — and hence
+// every eccentricity and the diameter — by exactly k. Road networks such as
+// europe_osm consist mostly of such degree-2 "shape points", which is what
+// gives them their enormous diameters (the paper's Table 1 lists 30,102);
+// the road stand-ins are built as a subdivided sparse grid for the same
+// reason. k ≤ 1 returns g unchanged.
+func Subdivide(g *graph.Graph, k int) *graph.Graph {
+	if k <= 1 {
+		return g
+	}
+	n := g.NumVertices()
+	b := graph.NewBuilder(n + int(g.NumEdges())*(k-1))
+	next := graph.Vertex(n)
+	for _, e := range g.Edges() {
+		prev := e.A
+		for i := 1; i < k; i++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, e.B)
+	}
+	return b.Build()
+}
+
+// unionFind is a standard disjoint-set forest with path halving and union
+// by size.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int32 {
+	p := int32(x)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]]
+		p = u.parent[p]
+	}
+	return p
+}
+
+// union merges the sets of a and b; reports whether they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ringWithTail() *Graph {
+	b := NewBuilder(10)
+	for v := 0; v < 6; v++ {
+		b.AddEdge(Vertex(v), Vertex((v+1)%6))
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	// 9 isolated
+	return b.Build()
+}
+
+func TestPermuteIsStructurePreserving(t *testing.T) {
+	g := ringWithTail()
+	// Reverse permutation.
+	n := g.NumVertices()
+	newID := make([]Vertex, n)
+	for i := range newID {
+		newID[i] = Vertex(n - 1 - i)
+	}
+	p := Permute(g, newID)
+	if p.NumVertices() != n || p.NumArcs() != g.NumArcs() {
+		t.Fatalf("size changed: %v vs %v", p, g)
+	}
+	for v := 0; v < n; v++ {
+		if p.Degree(newID[v]) != g.Degree(Vertex(v)) {
+			t.Errorf("degree of image of %d changed", v)
+		}
+		for _, w := range g.Neighbors(Vertex(v)) {
+			if !p.HasEdge(newID[v], newID[w]) {
+				t.Errorf("edge %d-%d lost", v, w)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSOrderIsPermutation(t *testing.T) {
+	g := ringWithTail()
+	checkPermutation(t, BFSOrder(g), g.NumVertices())
+	// The start (max-degree vertex 0, degree 3) gets id 0.
+	if BFSOrder(g)[g.MaxDegreeVertex()] != 0 {
+		t.Error("BFS order does not start at the max-degree vertex")
+	}
+}
+
+func TestDegreeOrderIsSortedPermutation(t *testing.T) {
+	g := ringWithTail()
+	newID := DegreeOrder(g)
+	checkPermutation(t, newID, g.NumVertices())
+	inv := InversePermutation(newID)
+	for rank := 1; rank < len(inv); rank++ {
+		if g.Degree(inv[rank-1]) < g.Degree(inv[rank]) {
+			t.Fatalf("degree order violated at rank %d", rank)
+		}
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	p := []Vertex{2, 0, 3, 1}
+	q := InversePermutation(p)
+	for i, v := range p {
+		if q[v] != Vertex(i) {
+			t.Fatalf("inverse wrong: %v / %v", p, q)
+		}
+	}
+}
+
+func checkPermutation(t *testing.T, p []Vertex, n int) {
+	t.Helper()
+	if len(p) != n {
+		t.Fatalf("length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if int(v) >= n || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// TestReorderPropertyDegreeMultisetInvariant uses testing/quick to check
+// that an arbitrary (hash-derived) permutation preserves the degree
+// multiset.
+func TestReorderPropertyDegreeMultisetInvariant(t *testing.T) {
+	f := func(pairs [][2]uint8, salt uint8) bool {
+		b := NewBuilder(32)
+		for _, e := range pairs {
+			b.AddEdge(Vertex(e[0]%32), Vertex(e[1]%32))
+		}
+		g := b.Build()
+		// Derive a permutation by rotating ids.
+		n := g.NumVertices()
+		newID := make([]Vertex, n)
+		for i := range newID {
+			newID[i] = Vertex((i + int(salt)) % n)
+		}
+		p := Permute(g, newID)
+		degs := func(gr *Graph) map[int]int {
+			m := map[int]int{}
+			for v := 0; v < gr.NumVertices(); v++ {
+				m[gr.Degree(Vertex(v))]++
+			}
+			return m
+		}
+		a, c := degs(g), degs(p)
+		if len(a) != len(c) {
+			return false
+		}
+		for k, v := range a {
+			if c[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

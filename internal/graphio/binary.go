@@ -1,0 +1,86 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fdiam/internal/graph"
+)
+
+// binaryMagic identifies the fdiam binary CSR format, version 1.
+const binaryMagic = "FDIAMG01"
+
+// WriteBinary serializes g in the binary CSR format: magic, n (uint64),
+// arcs (uint64), the offset array (uint64 little endian) and the target
+// array (uint32 little endian). Loading is a straight bulk read — the
+// format the experiment harness uses to cache generated graphs.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumArcs()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, o := range g.Offsets() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(o))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for _, t := range g.Targets() {
+		binary.LittleEndian.PutUint32(buf[:4], t)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary, validating the
+// CSR structure.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 8)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graphio: binary: %v", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graphio: binary: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graphio: binary: %v", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	arcs := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > uint64(MaxVertices) {
+		return nil, fmt.Errorf("graphio: binary: vertex count %d exceeds MaxVertices (%d)", n, MaxVertices)
+	}
+	if arcs > 64*uint64(MaxVertices) {
+		return nil, fmt.Errorf("graphio: binary: implausible arc count %d", arcs)
+	}
+	offsets := make([]int64, n+1)
+	raw := make([]byte, 8*(n+1))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("graphio: binary: offsets: %v", err)
+	}
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	targets := make([]graph.Vertex, arcs)
+	raw = make([]byte, 4*arcs)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("graphio: binary: targets: %v", err)
+	}
+	for i := range targets {
+		targets[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return graph.FromCSR(offsets, targets)
+}

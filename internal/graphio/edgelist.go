@@ -1,0 +1,116 @@
+// Package graphio reads and writes graphs in the formats the paper's input
+// collections use: whitespace-separated edge lists (SNAP), the DIMACS
+// shortest-path challenge format (USA-road-d.*), Matrix Market coordinate
+// files (SuiteSparse), and a fast binary CSR format for caching generated
+// graphs between experiment runs.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fdiam/internal/graph"
+)
+
+// MaxVertices caps the vertex count a loader will accept from untrusted
+// input. Headers are attacker-controlled: a one-line DIMACS file can claim
+// 10⁹ vertices and make the loader allocate gigabytes before reading a
+// single edge. The default (2²⁶ ≈ 67 M) comfortably covers every input in
+// the paper's collection; raise it for genuinely larger datasets.
+var MaxVertices = 1 << 26
+
+// checkVertexCount validates an untrusted vertex count or id bound.
+func checkVertexCount(n int64, what string) error {
+	if n < 0 || n > int64(MaxVertices) {
+		return fmt.Errorf("graphio: %s %d exceeds MaxVertices (%d)", what, n, MaxVertices)
+	}
+	return nil
+}
+
+// ReadEdgeList parses a SNAP-style edge list: one "u v" pair per line,
+// '#' and '%' comment lines ignored, arbitrary whitespace. Vertex ids are
+// non-negative integers; the graph grows to the largest id seen. Weights or
+// extra columns after the first two are ignored.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	b := graph.NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: edge list line %d: need two fields, got %q", lineNo, line)
+		}
+		a, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: edge list line %d: %v", lineNo, err)
+		}
+		c, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: edge list line %d: %v", lineNo, err)
+		}
+		if err := checkVertexCount(int64(a), "vertex id"); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := checkVertexCount(int64(c), "vertex id"); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		b.AddEdge(graph.Vertex(a), graph.Vertex(c))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: edge list: %v", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes one "u v" line per undirected edge (u < v), plus a
+// header comment with the vertex count so isolated trailing vertices
+// survive a round trip.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# fdiam edge list: %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "# max-vertex %d\n", g.NumVertices()-1); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, t := range g.Neighbors(graph.Vertex(v)) {
+			if graph.Vertex(v) < t {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAuto sniffs the format from the first non-blank line: "%%MatrixMarket"
+// selects Matrix Market, a line starting with 'p' or 'a'/'c' selects DIMACS,
+// FDIAM binary magic selects binary CSR, and anything else falls back to a
+// plain edge list. The reader must be rewindable, so ReadAuto takes the
+// whole content.
+func ReadAuto(data []byte) (*graph.Graph, error) {
+	if len(data) >= 8 && string(data[:8]) == binaryMagic {
+		return ReadBinary(strings.NewReader(string(data)))
+	}
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	switch {
+	case strings.HasPrefix(trimmed, "%%MatrixMarket"):
+		return ReadMatrixMarket(strings.NewReader(string(data)))
+	case strings.HasPrefix(trimmed, "p ") || strings.HasPrefix(trimmed, "c ") || strings.HasPrefix(trimmed, "a "):
+		return ReadDIMACS(strings.NewReader(string(data)))
+	default:
+		return ReadEdgeList(strings.NewReader(string(data)))
+	}
+}

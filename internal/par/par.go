@@ -1,0 +1,147 @@
+// Package par provides the small parallel runtime used by the BFS engine
+// and the experiment harness: a chunked parallel-for with dynamic load
+// balancing, plus a reusable worker set.
+//
+// The design mirrors what the paper's OpenMP code gets from
+// `#pragma omp parallel for schedule(dynamic, chunk)`: each worker
+// repeatedly claims a contiguous chunk of the index space via an atomic
+// counter, which balances irregular per-vertex work (skewed degrees)
+// without per-element synchronization.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default parallelism, the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) using the given number of workers
+// and dynamic chunking. workers <= 1 runs inline. chunk <= 0 picks a chunk
+// size that yields ~64 chunks per worker, clamped to [1, 4096].
+func For(n, workers, chunk int, body func(i int)) {
+	ForRange(n, workers, chunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body(lo, hi) over disjoint chunks covering [0, n).
+// Chunk-granular hand-off lets bodies keep per-chunk locals (e.g. frontier
+// output buffers) without per-element overhead.
+func ForRange(n, workers, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = n / (workers * 64)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 4096 {
+			chunk = 4096
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker is like ForRange but also passes the worker id in [0, workers)
+// to the body, so workers can own private output buffers. The same worker id
+// may process many chunks. workers <= 1 runs inline with id 0.
+func ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		body(0, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = n / (workers * 64)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 4096 {
+			chunk = 4096
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(id, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// MaxInt32 atomically raises *addr to v if v is larger and returns the new
+// maximum. Used for parallel reductions of eccentricity candidates.
+func MaxInt32(addr *int32, v int32) int32 {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if v <= cur {
+			return cur
+		}
+		if atomic.CompareAndSwapInt32(addr, cur, v) {
+			return v
+		}
+	}
+}
+
+// MaxInt64 atomically raises *addr to v if v is larger.
+func MaxInt64(addr *int64, v int64) int64 {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur {
+			return cur
+		}
+		if atomic.CompareAndSwapInt64(addr, cur, v) {
+			return v
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses: medians (the paper reports the median of 9 runs), geometric means
+// (all cross-input speedups in §6 are geometric means), and duration/
+// throughput formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Median returns the median of xs (the mean of the two middle elements for
+// even lengths). Returns 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MedianDuration returns the median of ds.
+func MedianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return time.Duration(Median(xs))
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries
+// (the paper computes geomean speedups "over only the inputs on which
+// neither code being compared times out"). Returns 0 if no positive entry
+// remains.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var count int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(count))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the extrema of xs; both 0 for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// FormatSeconds renders a duration in seconds with three decimals, the
+// paper's Table 2 style.
+func FormatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// FormatThroughput renders vertices/second in engineering notation
+// (Figure 6's y-axis is throughput on a log scale).
+func FormatThroughput(verticesPerSec float64) string {
+	switch {
+	case verticesPerSec >= 1e9:
+		return fmt.Sprintf("%.2fG", verticesPerSec/1e9)
+	case verticesPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM", verticesPerSec/1e6)
+	case verticesPerSec >= 1e3:
+		return fmt.Sprintf("%.2fk", verticesPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.2f", verticesPerSec)
+	}
+}
+
+// FormatCount renders an integer with thousands separators (Table 1 style).
+func FormatCount(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if v < 0 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{9, 9, 1}, 9},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	ds := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if got := MedianDuration(ds); got != 2*time.Second {
+		t.Errorf("MedianDuration = %v", got)
+	}
+	if got := MedianDuration(nil); got != 0 {
+		t.Errorf("MedianDuration(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	// Non-positive entries are skipped (paper: only non-timeout inputs).
+	if got := GeoMean([]float64{2, -1, 0, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with skips = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{-1}); got != 0 {
+		t.Errorf("GeoMean(all negative) = %v", got)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			// Restrict to the magnitudes the harness produces
+			// (throughputs/ratios); exp/log round-tripping near
+			// ±MaxFloat64 is not meaningful.
+			if x > 1e-12 && x < 1e12 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		gm := GeoMean(xs)
+		min, max := MinMax(xs)
+		return gm >= min*(1-1e-9) && gm <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	min, max := MinMax([]float64{3, 1, 4, 1, 5})
+	if min != 1 || max != 5 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %v, %v", min, max)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := FormatSeconds(1234 * time.Millisecond); got != "1.234" {
+		t.Errorf("FormatSeconds = %q", got)
+	}
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5e9, "2.50G"},
+		{3.1e6, "3.10M"},
+		{4.2e3, "4.20k"},
+		{99, "99.00"},
+	}
+	for _, c := range cases {
+		if got := FormatThroughput(c.in); got != c.want {
+			t.Errorf("FormatThroughput(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := FormatCount(1234567); got != "1,234,567" {
+		t.Errorf("FormatCount = %q", got)
+	}
+	if got := FormatCount(12); got != "12" {
+		t.Errorf("FormatCount = %q", got)
+	}
+	if got := FormatCount(-5); got != "-5" {
+		t.Errorf("FormatCount = %q", got)
+	}
+}
