@@ -32,12 +32,13 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "experiment: table1..table5, fig6..fig9, all; extensions beyond the paper: ext-algos, ext-allecc, ext-diropt, ext")
+	which := fs.String("run", "all", "experiment: table1..table5, fig6..fig9, all; extensions beyond the paper: ext-algos, ext-allecc, ext-diropt, ext; bfs (substrate comparison)")
 	scaleFlag := fs.String("scale", "quick", "stand-in scale: quick or full")
 	runs := fs.Int("runs", 3, "timed repetitions per measurement (median reported; the paper uses 9)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-run timeout (the paper used 2.5h at full dataset scale)")
 	workers := fs.Int("workers", 0, "workers for the parallel codes (0 = all CPUs)")
 	workloadsFlag := fs.String("workloads", "", "comma-separated workload names (default: all 17)")
+	jsonPath := fs.String("json", "", "with -run bfs: also write the comparison as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,6 +158,30 @@ func run(args []string, out io.Writer) error {
 	if wantExt("ext-approx") {
 		ran = true
 		bench.TableApprox(out, catalog(), cfg)
+	}
+	// "bfs" races the current BFS substrate against the seed revision's and
+	// snapshots the result (BENCH_pr1.json). Opt-in: it is a substrate
+	// regression check, not one of the paper's artifacts.
+	if wantExt("bfs") {
+		ran = true
+		fmt.Fprintln(out, "Racing legacy vs adaptive BFS substrate...")
+		rows, err := bench.BFSComparison(catalog(), cfg, out)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		bench.TableBFS(out, rows)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteBFSComparisonJSON(f, *scaleFlag, cfg, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *which)

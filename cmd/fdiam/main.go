@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fdiam/internal/baseline"
@@ -48,12 +50,43 @@ func run(args []string, out io.Writer) error {
 	noElim := fs.Bool("no-eliminate", false, "disable Eliminate (ablation)")
 	noChain := fs.Bool("no-chain", false, "disable Chain Processing (ablation)")
 	noU := fs.Bool("no-u", false, "start from vertex 0 instead of the max-degree vertex (ablation)")
+	noDirOpt := fs.Bool("no-diropt", false, "force plain top-down BFS (disable the bottom-up switch)")
+	alpha := fs.Int("alpha", 0, "direction-heuristic alpha: go bottom-up when modeled bottom-up cost < alpha x top-down cost (0 = default 2)")
+	beta := fs.Int("beta", 0, "direction-heuristic beta: return top-down when frontier < n/beta vertices (0 = default 8)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := fs.Bool("v", false, "print graph statistics before solving")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdiam: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fdiam: memprofile:", err)
+			}
+		}()
 	}
 
 	data, err := os.ReadFile(fs.Arg(0))
@@ -75,12 +108,15 @@ func run(args []string, out io.Writer) error {
 	switch *algo {
 	case "fdiam":
 		res := core.Diameter(g, core.Options{
-			Workers:           *workers,
-			Timeout:           *timeout,
-			DisableWinnow:     *noWinnow,
-			DisableEliminate:  *noElim,
-			DisableChain:      *noChain,
-			StartAtVertexZero: *noU,
+			Workers:             *workers,
+			Timeout:             *timeout,
+			DisableWinnow:       *noWinnow,
+			DisableEliminate:    *noElim,
+			DisableChain:        *noChain,
+			StartAtVertexZero:   *noU,
+			DisableDirectionOpt: *noDirOpt,
+			BFSAlpha:            *alpha,
+			BFSBeta:             *beta,
 		})
 		report(out, res.Diameter, res.Infinite, res.TimedOut, time.Since(start))
 		if *showStats {

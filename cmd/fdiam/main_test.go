@@ -64,6 +64,32 @@ func TestRunAblationFlags(t *testing.T) {
 	}
 }
 
+func TestRunDirectionAndProfileFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-no-diropt", "-alpha", "7", "-beta", "48",
+		"-cpuprofile", cpu, "-memprofile", mem, path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diameter: 10") {
+		t.Errorf("tuned run wrong: %q", buf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", p, err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestRunDisconnectedReportsInfinite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "d.txt")
 	f, _ := os.Create(path)

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fdiam/internal/bfs"
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+	"fdiam/internal/stats"
+)
+
+// This file benchmarks the BFS substrate itself — the single hot path every
+// F-Diam stage funnels through — by racing the current engine against a
+// faithful port of the seed revision's BFS on the Table 1 catalog.
+// The seed substrate differs in three ways that matter for the comparison:
+// it switches direction on a vertex-count threshold (frontier > n/10)
+// instead of Beamer's α/β edge counts, its bottom-up step defers marking the
+// new frontier to a separate pass, and it spawns fresh goroutines for every
+// parallel region instead of dispatching onto a persistent pool.
+
+// legacyBFS is the seed revision's traversal core, kept verbatim (modulo the
+// unexported marks, reimplemented here) so the speedup numbers in
+// BENCH_pr1.json measure substrate changes only, not harness drift.
+type legacyBFS struct {
+	g            *graph.Graph
+	cnt          []uint32
+	epoch        uint32
+	workers      int
+	dirThreshold int
+	serialCutoff int
+	wl1, wl2     []graph.Vertex
+	bufs         [][]graph.Vertex
+}
+
+func newLegacyBFS(g *graph.Graph, workers int) *legacyBFS {
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	n := g.NumVertices()
+	thr := n / 10
+	if thr < 1 {
+		thr = 1
+	}
+	return &legacyBFS{
+		g:            g,
+		cnt:          make([]uint32, n),
+		workers:      workers,
+		dirThreshold: thr,
+		serialCutoff: 1024,
+		wl1:          make([]graph.Vertex, 0, n),
+		wl2:          make([]graph.Vertex, 0, n),
+		bufs:         make([][]graph.Vertex, workers),
+	}
+}
+
+func (e *legacyBFS) visited(v graph.Vertex) bool { return e.cnt[v] == e.epoch }
+func (e *legacyBFS) visit(v graph.Vertex)        { e.cnt[v] = e.epoch }
+
+func (e *legacyBFS) eccentricity(src graph.Vertex) int32 {
+	return e.runWith([]graph.Vertex{src}, -1, nil, nil)
+}
+
+// runWith mirrors the seed's traversal loop including the plumbing its hot
+// paths carried (maxLevels check, skip hook, onLevel callback), so the
+// per-level and per-edge overheads match the seed exactly.
+func (e *legacyBFS) runWith(seeds []graph.Vertex, maxLevels int32,
+	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
+	e.epoch++
+	e.wl1 = e.wl1[:0]
+	for _, s := range seeds {
+		if !e.visited(s) {
+			e.visit(s)
+			e.wl1 = append(e.wl1, s)
+		}
+	}
+	var level int32
+	for len(e.wl1) > 0 {
+		if maxLevels >= 0 && level >= maxLevels {
+			break
+		}
+		e.wl2 = e.wl2[:0]
+		switch {
+		case len(e.wl1) > e.dirThreshold && skip == nil:
+			e.bottomUpStep()
+		default:
+			e.topDownSerial(skip)
+		}
+		if len(e.wl2) == 0 {
+			break
+		}
+		level++
+		if onLevel != nil {
+			onLevel(level, e.wl2)
+		}
+		e.wl1, e.wl2 = e.wl2, e.wl1
+	}
+	return level
+}
+
+func (e *legacyBFS) topDownSerial(skip func(graph.Vertex) bool) {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	for _, v := range e.wl1 {
+		adj := targets[offsets[v]:offsets[v+1]]
+		for _, n := range adj {
+			if e.visited(n) {
+				continue
+			}
+			if skip != nil && skip(n) {
+				continue
+			}
+			e.visit(n)
+			e.wl2 = append(e.wl2, n)
+		}
+	}
+}
+
+// bottomUpStep is the seed's deferred-marking pass: unvisited vertices scan
+// for any visited neighbor (under level synchrony that neighbor is in the
+// current frontier), and the new frontier is marked in a second pass. It
+// dispatches via par.ForWorkerSpawn — the seed's spawn-per-call primitive —
+// so the legacy side also carries the seed's dispatch overhead.
+func (e *legacyBFS) bottomUpStep() {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	n := e.g.NumVertices()
+	for w := 0; w < e.workers; w++ {
+		e.bufs[w] = e.bufs[w][:0]
+	}
+	par.ForWorkerSpawn(n, e.workers, 2048, func(worker, lo, hi int) {
+		buf := e.bufs[worker]
+		for v := lo; v < hi; v++ {
+			vx := graph.Vertex(v)
+			if e.visited(vx) {
+				continue
+			}
+			adj := targets[offsets[v]:offsets[v+1]]
+			for _, nb := range adj {
+				if e.visited(nb) {
+					buf = append(buf, vx)
+					break
+				}
+			}
+		}
+		e.bufs[worker] = buf
+	})
+	for w := 0; w < e.workers; w++ {
+		e.wl2 = append(e.wl2, e.bufs[w]...)
+	}
+	for _, v := range e.wl2 {
+		e.visit(v)
+	}
+}
+
+// BFSCompRow is one workload's legacy-vs-adaptive measurement.
+type BFSCompRow struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"`
+	Vertices int    `json:"vertices"`
+	Arcs     int64  `json:"arcs"`
+	// Sources is the number of BFS sources timed (max-degree vertex plus
+	// evenly spread vertices); each timing below covers all of them.
+	Sources int `json:"sources"`
+	// Median wall-clock per full source sweep, in milliseconds.
+	LegacyMillis   float64 `json:"legacy_ms"`
+	AdaptiveMillis float64 `json:"adaptive_ms"`
+	// Speedup is legacy/adaptive (>1 means the new substrate is faster).
+	Speedup float64 `json:"speedup"`
+	// DirSwitches is the adaptive engine's direction-switch count summed
+	// over the source sweep.
+	DirSwitches int64 `json:"dir_switches"`
+	// EccSum is the summed eccentricities, identical for both engines by
+	// construction (the runner fails on mismatch).
+	EccSum int64 `json:"ecc_sum"`
+}
+
+// BFSComparisonReport is the JSON snapshot written to BENCH_pr1.json.
+type BFSComparisonReport struct {
+	Scale     string       `json:"scale"`
+	Runs      int          `json:"runs"`
+	Workers   int          `json:"workers"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Rows      []BFSCompRow `json:"rows"`
+}
+
+// bfsSources picks the timed sources: the max-degree vertex (F-Diam's 2-sweep
+// start, exercising the hub-heavy first levels) plus three evenly spread
+// vertices (exercising peripheral starts).
+func bfsSources(g *graph.Graph) []graph.Vertex {
+	n := g.NumVertices()
+	srcs := []graph.Vertex{g.MaxDegreeVertex()}
+	for _, f := range []int{1, 2, 3} {
+		v := graph.Vertex(f * n / 4)
+		if int(v) >= n {
+			continue
+		}
+		srcs = append(srcs, v)
+	}
+	return srcs
+}
+
+// BFSComparison races the current adaptive engine against the legacy port on
+// every workload, timing a full source sweep per run and reporting the
+// median. Eccentricities are cross-checked per source; a mismatch is a
+// correctness bug and returns an error.
+func BFSComparison(workloads []*Workload, cfg Config, out io.Writer) ([]BFSCompRow, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	workers := cfg.Workers
+	var rows []BFSCompRow
+	for _, w := range workloads {
+		g := w.Graph()
+		srcs := bfsSources(g)
+
+		legacy := newLegacyBFS(g, workers)
+		adaptive := bfs.New(g, workers)
+
+		var legacyTimes, adaptiveTimes []time.Duration
+		var eccSum int64
+		var switches int64
+		for r := 0; r < runs; r++ {
+			eccSum = 0
+			start := time.Now()
+			for _, s := range srcs {
+				eccSum += int64(legacy.eccentricity(s))
+			}
+			legacyTimes = append(legacyTimes, time.Since(start))
+
+			adaptive.ResetCounters()
+			var adaptSum int64
+			start = time.Now()
+			for _, s := range srcs {
+				adaptSum += int64(adaptive.Eccentricity(s))
+			}
+			adaptiveTimes = append(adaptiveTimes, time.Since(start))
+			switches = adaptive.DirectionSwitches()
+
+			if adaptSum != eccSum {
+				adaptive.Close()
+				return rows, fmt.Errorf("%s: eccentricity sum mismatch: legacy %d, adaptive %d",
+					w.Name, eccSum, adaptSum)
+			}
+		}
+		adaptive.Close()
+
+		lm := stats.MedianDuration(legacyTimes)
+		am := stats.MedianDuration(adaptiveTimes)
+		row := BFSCompRow{
+			Name:           w.Name,
+			Class:          w.Class,
+			Vertices:       g.NumVertices(),
+			Arcs:           g.NumArcs(),
+			Sources:        len(srcs),
+			LegacyMillis:   float64(lm) / float64(time.Millisecond),
+			AdaptiveMillis: float64(am) / float64(time.Millisecond),
+			DirSwitches:    switches,
+			EccSum:         eccSum,
+		}
+		if am > 0 {
+			row.Speedup = float64(lm) / float64(am)
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintf(out, "  %-22s legacy %8.2fms  adaptive %8.2fms  speedup %5.2fx  switches %d\n",
+				w.Name, row.LegacyMillis, row.AdaptiveMillis, row.Speedup, row.DirSwitches)
+		}
+		w.Release()
+	}
+	return rows, nil
+}
+
+// TableBFS renders the comparison as a table.
+func TableBFS(out io.Writer, rows []BFSCompRow) {
+	fmt.Fprintln(out, "BFS substrate: seed engine (n/10 vertex switch, spawn-per-call) vs")
+	fmt.Fprintln(out, "adaptive engine (cost-model α/β edge switch, candidate-list bottom-up, persistent pool)")
+	fmt.Fprintf(out, "%-22s %10s %12s %12s %8s %9s\n",
+		"graph", "vertices", "legacy ms", "adaptive ms", "speedup", "switches")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %10d %12.2f %12.2f %7.2fx %9d\n",
+			r.Name, r.Vertices, r.LegacyMillis, r.AdaptiveMillis, r.Speedup, r.DirSwitches)
+	}
+}
+
+// WriteBFSComparisonJSON writes the snapshot consumed by BENCH_pr1.json.
+func WriteBFSComparisonJSON(out io.Writer, scale string, cfg Config, rows []BFSCompRow) error {
+	rep := BFSComparisonReport{
+		Scale:     scale,
+		Runs:      cfg.Runs,
+		Workers:   cfg.Workers,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Rows:      rows,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fdiam/internal/graph"
+)
+
+func TestLegacyBFSMatchesReference(t *testing.T) {
+	// The legacy port is the benchmark's ground truth for the seed engine,
+	// so it must itself be correct.
+	for _, w := range tinyCatalog(t) {
+		g := w.Graph()
+		e := newLegacyBFS(g, 2)
+		for _, src := range bfsSources(g) {
+			want := refEccentricity(g, src)
+			if got := e.eccentricity(src); got != want {
+				t.Errorf("%s: legacy ecc(%d) = %d, want %d", w.Name, src, got, want)
+			}
+		}
+		w.Release()
+	}
+}
+
+// refEccentricity is a plain queue-based BFS, independent of both engines.
+func refEccentricity(g *graph.Graph, src graph.Vertex) int32 {
+	offsets, targets := g.Offsets(), g.Targets()
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	var e int32
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		e = dist[v]
+		for _, n := range targets[offsets[v]:offsets[v+1]] {
+			if dist[n] < 0 {
+				dist[n] = dist[v] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return e
+}
+
+func TestBFSComparisonRunsAndAgrees(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := BFSComparison(tinyCatalog(t), quickCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sources < 1 || r.EccSum <= 0 || r.LegacyMillis < 0 || r.AdaptiveMillis < 0 {
+			t.Errorf("%s: implausible row %+v", r.Name, r)
+		}
+		// The heuristic contract of the substrate: power-law rows switch
+		// direction, grid/road rows never do.
+		switch r.Name {
+		case "rmat16.sym":
+			if r.DirSwitches == 0 {
+				t.Errorf("%s: expected direction switches on a power-law workload", r.Name)
+			}
+		case "2d-2e20.sym", "USA-road-d.NY":
+			if r.DirSwitches != 0 {
+				t.Errorf("%s: %d switches on a thin-frontier workload", r.Name, r.DirSwitches)
+			}
+		}
+	}
+
+	var table bytes.Buffer
+	TableBFS(&table, rows)
+	for _, want := range []string{"rmat16.sym", "speedup", "switches"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := WriteBFSComparisonJSON(&js, "quick", quickCfg(), rows); err != nil {
+		t.Fatal(err)
+	}
+	var rep BFSComparisonReport
+	if err := json.Unmarshal(js.Bytes(), &rep); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if rep.Scale != "quick" || len(rep.Rows) != len(rows) {
+		t.Errorf("round-trip mismatch: scale=%q rows=%d", rep.Scale, len(rep.Rows))
+	}
+}

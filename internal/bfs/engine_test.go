@@ -221,10 +221,11 @@ func TestBottomUpTriggersAndAgrees(t *testing.T) {
 			t.Errorf("star leaf ecc = %d, want 2", got)
 		}
 	}
-	// Force bottom-up on every level of a random graph.
+	// Force bottom-up on every level of a random graph: a huge α makes
+	// the switch condition always hold, a huge β prevents switching back.
 	g2 := gen.RandomConnected(300, 300, 9)
 	e2 := New(g2, 4)
-	e2.SetDirectionThreshold(1)
+	e2.SetAlphaBeta(1<<30, 1<<30)
 	e2.SetSerialCutoff(0)
 	for v := 0; v < 300; v += 37 {
 		want := refEcc(refDistances(g2, graph.Vertex(v)))
@@ -346,12 +347,12 @@ func BenchmarkEccentricity(b *testing.B) {
 func TestEngineKnobClamping(t *testing.T) {
 	g := gen.Path(20)
 	e := New(g, 2)
-	e.SetDirectionThreshold(0) // clamps to 1
-	e.SetSerialCutoff(-5)      // clamps to 0
+	e.SetAlphaBeta(0, -3) // selects the defaults
+	e.SetSerialCutoff(-5) // clamps to 0
 	if got := e.Eccentricity(0); got != 19 {
 		t.Fatalf("ecc with extreme knobs = %d, want 19", got)
 	}
-	e.SetDirectionThreshold(1 << 30)
+	e.SetAlphaBeta(1<<30, 1<<30)
 	e.SetSerialCutoff(1 << 30)
 	if got := e.Eccentricity(0); got != 19 {
 		t.Fatalf("ecc with huge knobs = %d, want 19", got)

@@ -49,6 +49,13 @@ func (m *Marks) Visited(v graph.Vertex) bool { return m.cnt[v] == m.epoch }
 // use TryVisit in parallel top-down expansion.
 func (m *Marks) Visit(v graph.Vertex) { m.cnt[v] = m.epoch }
 
+// VisitedAtomic reports whether v has been visited using an atomic load.
+// Parallel top-down expansion uses it as a cheap pre-check before the
+// TryVisit CAS, where plain reads would race with concurrent visitors.
+func (m *Marks) VisitedAtomic(v graph.Vertex) bool {
+	return atomic.LoadUint32(&m.cnt[v]) == m.epoch
+}
+
 // TryVisit atomically marks v visited and reports whether this call was the
 // first visitor in the current epoch.
 func (m *Marks) TryVisit(v graph.Vertex) bool {

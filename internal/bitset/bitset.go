@@ -3,7 +3,10 @@
 // traced per machine word, which is what makes batched BFS practical.
 package bitset
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Set is a fixed-capacity bit set. The zero value is unusable; create one
 // with New. Word granularity is exposed (Words) for kernels that operate
@@ -23,6 +26,12 @@ func (s *Set) Len() int { return s.n }
 
 // Set sets bit i.
 func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// SetAtomic sets bit i with an atomic OR, safe for concurrent setters that
+// may share a word (e.g. parallel frontier-bitset construction in the
+// direction-optimized BFS). Mixing SetAtomic with the non-atomic mutators
+// on the same word concurrently is not safe.
+func (s *Set) SetAtomic(i int) { atomic.OrUint64(&s.words[i>>6], 1<<(uint(i)&63)) }
 
 // Clear clears bit i.
 func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }

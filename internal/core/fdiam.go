@@ -63,6 +63,7 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 	}
 	e := bfs.New(g, workers)
 	e.SetDirectionOptimized(!opt.DisableDirectionOpt)
+	e.SetAlphaBeta(opt.BFSAlpha, opt.BFSBeta)
 	s := &solver{
 		g:        g,
 		e:        e,
@@ -81,6 +82,10 @@ func (s *solver) timedOut() bool {
 }
 
 func (s *solver) run() Result {
+	// Park-released worker goroutines belong to this run's engine;
+	// release them when the computation finishes rather than waiting for
+	// the garbage collector.
+	defer s.e.Close()
 	tStart := time.Now()
 	n := s.g.NumVertices()
 	s.stats.Vertices = n
@@ -208,6 +213,7 @@ func (s *solver) run() Result {
 		}
 	}
 
+	s.stats.DirSwitches = s.e.DirectionSwitches()
 	s.stats.TimeTotal = time.Since(tStart)
 	return Result{
 		Diameter: s.bound,

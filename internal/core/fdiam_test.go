@@ -264,23 +264,28 @@ func TestWorkersSweep(t *testing.T) {
 }
 
 func TestBoundImprovementPathsAreExercised(t *testing.T) {
-	// The 2-sweep bound is not always tight; these deterministic seeds
-	// (found by scanning RandomConnected) force the main loop to raise
-	// the bound, which drives the incremental Winnow extension and the
-	// multi-source extension of eliminated regions (§4.5). Correctness
-	// on these inputs therefore covers the trickiest code paths.
-	seeds := []uint64{2, 8, 16, 21, 24, 28, 34, 47, 75, 84}
+	// The 2-sweep bound is not always tight. Scan a deterministic seed
+	// range and require that a healthy share of instances force the main
+	// loop to raise the bound — which drives the incremental Winnow
+	// extension and the multi-source extension of eliminated regions
+	// (§4.5). Pinning exact seeds instead would couple the test to the
+	// BFS engine's frontier ordering, which decides the peripheral vertex
+	// the 2-sweep picks and thus whether the initial bound is tight.
+	improved := 0
 	sawExtension := false
-	for _, seed := range seeds {
+	for seed := uint64(0); seed < 60; seed++ {
 		g := gen.RandomConnected(150+int(seed%80), int(seed%120), seed)
 		res := Diameter(g, Options{Workers: 1})
-		if res.Stats.BoundImprovements == 0 {
-			t.Errorf("seed %d: expected a bound improvement (scan regression?)", seed)
+		if res.Stats.BoundImprovements > 0 {
+			improved++
+			if res.Stats.WinnowCalls >= 2 {
+				sawExtension = true
+			}
+			checkAgainstBruteForce(t, fmt.Sprintf("improve-%d", seed), g)
 		}
-		if res.Stats.WinnowCalls >= 2 {
-			sawExtension = true
-		}
-		checkAgainstBruteForce(t, fmt.Sprintf("improve-%d", seed), g)
+	}
+	if improved < 5 {
+		t.Errorf("only %d/60 seeds improved the 2-sweep bound (scan regression?)", improved)
 	}
 	if !sawExtension {
 		t.Error("no seed exercised the incremental winnow extension")

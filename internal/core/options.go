@@ -33,6 +33,16 @@ type Options struct {
 	// measuring how much the hybrid contributes.
 	DisableDirectionOpt bool
 
+	// BFSAlpha and BFSBeta tune the Beamer-style direction heuristic of
+	// the BFS substrate: the hybrid goes bottom-up when its modeled
+	// bottom-up cost is below alpha times the top-down cost (the
+	// frontier's outgoing-arc count), and returns top-down when the
+	// frontier shrinks below n/beta vertices. Zero (or negative) selects
+	// the defaults (bfs.DefaultAlpha, bfs.DefaultBeta). The bench harness
+	// sweeps these to validate the defaults per topology class.
+	BFSAlpha int
+	BFSBeta  int
+
 	// Timeout aborts the computation after the given wall-clock duration
 	// (checked between BFS calls). Zero means no limit. A timed-out run
 	// reports TimedOut in the Result; Diameter then holds the best lower

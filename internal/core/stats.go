@@ -25,6 +25,10 @@ type Stats struct {
 	// BoundImprovements counts how often the main loop found a vertex
 	// whose eccentricity exceeded the current bound.
 	BoundImprovements int64
+	// DirSwitches counts the BFS engine's direction switches
+	// (top-down↔bottom-up, either way) summed over every traversal of
+	// the run — the observability hook for the α/β heuristic.
+	DirSwitches int64
 
 	// Removal attribution (Table 4): how many vertices each stage
 	// removed from consideration.
@@ -81,8 +85,8 @@ func pct(count int64, total int) float64 {
 // String renders a compact multi-metric summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(
-		"bfs=%d (ecc=%d winnow=%d) elim-calls=%d removed: winnow=%.2f%% elim=%.2f%% chain=%.2f%% deg0=%.2f%% computed=%.2f%% total=%v",
-		s.BFSTraversals(), s.EccBFS, s.WinnowCalls, s.EliminateCalls,
+		"bfs=%d (ecc=%d winnow=%d) elim-calls=%d dir-switches=%d removed: winnow=%.2f%% elim=%.2f%% chain=%.2f%% deg0=%.2f%% computed=%.2f%% total=%v",
+		s.BFSTraversals(), s.EccBFS, s.WinnowCalls, s.EliminateCalls, s.DirSwitches,
 		s.PctWinnow(), s.PctEliminate(), s.PctChain(), s.PctDegree0(), s.PctComputed(),
 		s.TimeTotal.Round(time.Microsecond))
 }

@@ -1,17 +1,20 @@
 // Package par provides the small parallel runtime used by the BFS engine
 // and the experiment harness: a chunked parallel-for with dynamic load
-// balancing, plus a reusable worker set.
+// balancing, backed by a persistent worker pool.
 //
 // The design mirrors what the paper's OpenMP code gets from
 // `#pragma omp parallel for schedule(dynamic, chunk)`: each worker
 // repeatedly claims a contiguous chunk of the index space via an atomic
 // counter, which balances irregular per-vertex work (skewed degrees)
-// without per-element synchronization.
+// without per-element synchronization. Like OpenMP's persistent thread
+// team, workers are started once and parked between calls (see Pool);
+// the free functions below dispatch onto a lazily created process-wide
+// pool, and fall back to spawning fresh goroutines when that pool is
+// busy (nested or concurrent parallel-for).
 package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -22,101 +25,21 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // and dynamic chunking. workers <= 1 runs inline. chunk <= 0 picks a chunk
 // size that yields ~64 chunks per worker, clamped to [1, 4096].
 func For(n, workers, chunk int, body func(i int)) {
-	ForRange(n, workers, chunk, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	sharedPool().For(n, workers, chunk, body)
 }
 
 // ForRange runs body(lo, hi) over disjoint chunks covering [0, n).
 // Chunk-granular hand-off lets bodies keep per-chunk locals (e.g. frontier
 // output buffers) without per-element overhead.
 func ForRange(n, workers, chunk int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 1 || n == 1 {
-		body(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if chunk <= 0 {
-		chunk = n / (workers * 64)
-		if chunk < 1 {
-			chunk = 1
-		}
-		if chunk > 4096 {
-			chunk = 4096
-		}
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	sharedPool().ForRange(n, workers, chunk, body)
 }
 
 // ForWorker is like ForRange but also passes the worker id in [0, workers)
 // to the body, so workers can own private output buffers. The same worker id
 // may process many chunks. workers <= 1 runs inline with id 0.
 func ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 1 || n == 1 {
-		body(0, 0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if chunk <= 0 {
-		chunk = n / (workers * 64)
-		if chunk < 1 {
-			chunk = 1
-		}
-		if chunk > 4096 {
-			chunk = 4096
-		}
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(id int) {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(id, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
+	sharedPool().ForWorker(n, workers, chunk, body)
 }
 
 // MaxInt32 atomically raises *addr to v if v is larger and returns the new

@@ -1,0 +1,253 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkCoverage runs a ForWorker call on the pool and verifies every index in
+// [0, n) is visited exactly once with worker ids in [0, workers).
+func checkCoverage(t *testing.T, p *Pool, n, workers, chunk int) {
+	t.Helper()
+	hits := make([]int32, n)
+	var badID int32
+	p.ForWorker(n, workers, chunk, func(worker, lo, hi int) {
+		if worker < 0 || worker >= workers {
+			atomic.AddInt32(&badID, 1)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if badID != 0 {
+		t.Fatalf("n=%d workers=%d chunk=%d: %d chunks saw out-of-range worker ids", n, workers, chunk, badID)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("n=%d workers=%d chunk=%d: index %d hit %d times", n, workers, chunk, i, h)
+		}
+	}
+}
+
+func TestPoolReuseAcrossCalls(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	// Many dispatches on one pool: the team is spawned once and every call
+	// must still cover its index space exactly. Varying n exercises jobs
+	// smaller and larger than the team.
+	for call := 0; call < 200; call++ {
+		checkCoverage(t, p, 1+(call*37)%997, 4, 0)
+	}
+	if w := p.Workers(); w != 4 {
+		t.Fatalf("after width-4 dispatches Workers() = %d, want 4", w)
+	}
+}
+
+func TestPoolTeamGrowsToWidestRequest(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("fresh pool Workers() = %d, want 1 (caller only)", w)
+	}
+	checkCoverage(t, p, 500, 2, 0)
+	if w := p.Workers(); w != 2 {
+		t.Fatalf("after width-2 dispatch Workers() = %d, want 2", w)
+	}
+	checkCoverage(t, p, 500, 6, 0)
+	if w := p.Workers(); w != 6 {
+		t.Fatalf("after width-6 dispatch Workers() = %d, want 6", w)
+	}
+	// Narrower jobs reuse the wide team without shrinking it; extra parked
+	// workers must ack without claiming chunks (worker ids stay < workers).
+	checkCoverage(t, p, 500, 3, 0)
+	if w := p.Workers(); w != 6 {
+		t.Fatalf("after narrow dispatch Workers() = %d, want 6 (teams never shrink)", w)
+	}
+}
+
+func TestPoolNestedDispatchFallsBack(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	// A parallel-for dispatched from inside a running job body must not
+	// deadlock the parked team: the inner call sees the busy pool and falls
+	// back to spawn-per-call. Every (outer, inner) pair is still covered.
+	const outer, inner = 40, 30
+	hits := make([]int32, outer*inner)
+	p.For(outer, 4, 1, func(i int) {
+		p.For(inner, 4, 1, func(j int) {
+			atomic.AddInt32(&hits[i*inner+j], 1)
+		})
+	})
+	for idx, h := range hits {
+		if h != 1 {
+			t.Fatalf("pair (%d,%d) hit %d times", idx/inner, idx%inner, h)
+		}
+	}
+}
+
+func TestPoolConcurrentDispatchFallsBack(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	// Two goroutines hammering one pool: whichever loses the TryLock must
+	// fall back rather than block or corrupt the winner's job.
+	const goroutines, n = 4, 2000
+	var wg sync.WaitGroup
+	sums := make([]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				var sum int64
+				p.ForRange(n, 3, 16, func(lo, hi int) {
+					var local int64
+					for i := lo; i < hi; i++ {
+						local += int64(i)
+					}
+					atomic.AddInt64(&sum, local)
+				})
+				if sum != int64(n)*int64(n-1)/2 {
+					atomic.StoreInt64(&sums[g], sum)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, s := range sums {
+		if s != 0 {
+			t.Fatalf("goroutine %d saw wrong sum %d", g, s)
+		}
+	}
+}
+
+func TestPoolWorkersExceedN(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	// workers > n clamps to n participants; ids must stay below the clamp.
+	n := 5
+	var maxID int32 = -1
+	hits := make([]int32, n)
+	p.ForWorker(n, 64, 0, func(worker, lo, hi int) {
+		MaxInt32(&maxID, int32(worker))
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if maxID >= int32(n) {
+		t.Fatalf("worker id %d with only %d elements", maxID, n)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestPoolChunkClamping(t *testing.T) {
+	// normalize picks ~64 chunks per worker clamped to [1, 4096] and clamps
+	// workers to n. Checked directly, then through a dispatch that records
+	// observed chunk widths.
+	cases := []struct {
+		n, workers, chunk   int
+		wantWorkers, wantCh int
+	}{
+		{n: 100, workers: 200, chunk: 0, wantWorkers: 100, wantCh: 1},
+		{n: 1 << 20, workers: 2, chunk: 0, wantWorkers: 2, wantCh: 4096},
+		{n: 1024, workers: 4, chunk: 0, wantWorkers: 4, wantCh: 1024 / (4 * 64)},
+		{n: 1000, workers: 3, chunk: 37, wantWorkers: 3, wantCh: 37},
+	}
+	for _, c := range cases {
+		w, ch := normalize(c.n, c.workers, c.chunk)
+		if w != c.wantWorkers || ch != c.wantCh {
+			t.Errorf("normalize(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				c.n, c.workers, c.chunk, w, ch, c.wantWorkers, c.wantCh)
+		}
+	}
+
+	p := NewPool()
+	defer p.Close()
+	n, chunk := 1000, 64
+	var tooWide int32
+	var total int64
+	p.ForWorker(n, 4, chunk, func(_, lo, hi int) {
+		if hi-lo > chunk {
+			atomic.AddInt32(&tooWide, 1)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if tooWide != 0 {
+		t.Fatalf("%d chunks wider than the requested %d", tooWide, chunk)
+	}
+	if total != int64(n) {
+		t.Fatalf("chunks covered %d elements, want %d", total, n)
+	}
+}
+
+func TestPoolWorkerBufferOwnership(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	// The BFS engine's usage pattern: per-worker output buffers indexed by
+	// worker id, appended to without atomics. Distinct ids must never run
+	// concurrently on the same buffer — the race detector enforces this.
+	const n, workers = 10000, 4
+	bufs := make([][]int, workers)
+	for rep := 0; rep < 10; rep++ {
+		for w := range bufs {
+			bufs[w] = bufs[w][:0]
+		}
+		p.ForWorker(n, workers, 0, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i%3 == 0 {
+					bufs[worker] = append(bufs[worker], i)
+				}
+			}
+		})
+		got := 0
+		for _, b := range bufs {
+			got += len(b)
+		}
+		if want := (n + 2) / 3; got != want {
+			t.Fatalf("rep %d: buffers hold %d elements, want %d", rep, got, want)
+		}
+	}
+}
+
+func TestPoolCloseThenUse(t *testing.T) {
+	p := NewPool()
+	checkCoverage(t, p, 300, 3, 0)
+	p.Close()
+	p.Close() // idempotent
+	// A closed pool still works: dispatch falls back to spawn-per-call.
+	for rep := 0; rep < 3; rep++ {
+		checkCoverage(t, p, 300, 3, 0)
+	}
+}
+
+func TestPoolTrivialDispatches(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	ran := false
+	p.ForWorker(0, 8, 0, func(_, _, _ int) { ran = true })
+	if ran {
+		t.Fatal("n=0 must not invoke the body")
+	}
+	// n == 1 and workers <= 1 run inline on the caller: non-atomic writes
+	// below are race-detector-checked.
+	calls := 0
+	p.ForWorker(1, 8, 0, func(worker, lo, hi int) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 1 {
+			t.Errorf("inline call got (worker=%d, lo=%d, hi=%d)", worker, lo, hi)
+		}
+	})
+	sum := 0
+	p.For(100, 1, 0, func(i int) { sum += i })
+	if calls != 1 || sum != 4950 {
+		t.Fatalf("calls=%d sum=%d", calls, sum)
+	}
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("inline-only pool spawned workers: Workers() = %d", w)
+	}
+}
