@@ -39,8 +39,14 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "workers for the parallel codes (0 = all CPUs)")
 	workloadsFlag := fs.String("workloads", "", "comma-separated workload names (default: all 17)")
 	jsonPath := fs.String("json", "", "with -run bfs: also write the comparison as JSON to this file")
+	traceDir := fs.String("tracedir", "", "write a Chrome trace artifact per (workload, F-Diam code) into this directory during the main sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("tracedir: %w", err)
+		}
 	}
 
 	var scale bench.Scale
@@ -52,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -scale %q", *scaleFlag)
 	}
-	cfg := bench.Config{Runs: *runs, Timeout: *timeout, Workers: *workers}
+	cfg := bench.Config{Runs: *runs, Timeout: *timeout, Workers: *workers, TraceDir: *traceDir}
 
 	catalog := func() []*bench.Workload {
 		all := bench.Catalog(scale)

@@ -15,9 +15,12 @@
 //	fdiam road.gr
 //	fdiam -algo ifub -workers 1 -timeout 2.5h web.txt
 //	fdiam -stats -v snap-edges.txt
+//	fdiam -trace run.json -json web.txt
+//	fdiam -http :6060 -progress 2s road.gr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +33,7 @@ import (
 	"fdiam/internal/core"
 	"fdiam/internal/graph"
 	"fdiam/internal/graphio"
+	"fdiam/internal/obs"
 	"fdiam/internal/stats"
 )
 
@@ -56,11 +60,28 @@ func run(args []string, out io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := fs.Bool("v", false, "print graph statistics before solving")
+	jsonOut := fs.Bool("json", false, "print the result as a single JSON object")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (chrome://tracing, Perfetto); fdiam only")
+	eventsFile := fs.String("events", "", "write an NDJSON structured event log of the run to this file; fdiam only")
+	httpAddr := fs.String("http", "", "serve /metrics, /progress and /debug/pprof on this address (e.g. :6060)")
+	progress := fs.Duration("progress", 0, "log a one-line progress status to stderr at this interval; fdiam only")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
+	}
+	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0) {
+		return fmt.Errorf("-trace, -events and -progress require -algo fdiam")
+	}
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, nil)
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fdiam: serving /metrics, /progress, /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	if *cpuProfile != "" {
@@ -107,6 +128,34 @@ func run(args []string, out io.Writer) error {
 	start := time.Now()
 	switch *algo {
 	case "fdiam":
+		// An observability run is attached when any event sink or the
+		// live endpoints need it; nil keeps the solver's zero-overhead
+		// path.
+		var trace *obs.Run
+		if *traceFile != "" || *eventsFile != "" || *httpAddr != "" || *progress != 0 {
+			var cfg obs.Config
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					return fmt.Errorf("trace: %w", err)
+				}
+				defer f.Close()
+				cfg.ChromeTrace = f
+			}
+			if *eventsFile != "" {
+				f, err := os.Create(*eventsFile)
+				if err != nil {
+					return fmt.Errorf("events: %w", err)
+				}
+				defer f.Close()
+				cfg.Events = f
+			}
+			trace = obs.NewRun(cfg)
+			if *progress != 0 {
+				stop := trace.LogProgress(os.Stderr, *progress)
+				defer stop()
+			}
+		}
 		res := core.Diameter(g, core.Options{
 			Workers:             *workers,
 			Timeout:             *timeout,
@@ -117,8 +166,19 @@ func run(args []string, out io.Writer) error {
 			DisableDirectionOpt: *noDirOpt,
 			BFSAlpha:            *alpha,
 			BFSBeta:             *beta,
+			Trace:               trace,
 		})
-		report(out, res.Diameter, res.Infinite, res.TimedOut, time.Since(start))
+		elapsed := time.Since(start)
+		if trace != nil {
+			if err := trace.Finish(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		if *jsonOut {
+			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
+				res.TimedOut, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
+		}
+		report(out, res.Diameter, res.Infinite, res.TimedOut, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: %s\n", res.Stats.String())
 		}
@@ -135,7 +195,12 @@ func run(args []string, out io.Writer) error {
 		case "naive":
 			res = baseline.Naive(g, opt)
 		}
-		report(out, res.Diameter, res.Infinite, res.TimedOut, time.Since(start))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
+				res.TimedOut, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
+		}
+		report(out, res.Diameter, res.Infinite, res.TimedOut, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: bfs-traversals=%d\n", res.BFSTraversals)
 		}
@@ -143,6 +208,45 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -algo %q", *algo)
 	}
 	return nil
+}
+
+// jsonResult is the -json output schema. Witnesses use -1 for "none"
+// (graphs with no edges, or baseline algorithms that do not track a pair)
+// so consumers need not know the NoVertex sentinel.
+type jsonResult struct {
+	Algorithm     string      `json:"algorithm"`
+	Graph         string      `json:"graph"`
+	Diameter      int32       `json:"diameter"`
+	Infinite      bool        `json:"infinite"`
+	TimedOut      bool        `json:"timed_out"`
+	WitnessA      int64       `json:"witness_a"`
+	WitnessB      int64       `json:"witness_b"`
+	ElapsedNS     int64       `json:"elapsed_ns"`
+	Stats         *core.Stats `json:"stats,omitempty"`          // fdiam only
+	BFSTraversals int64       `json:"bfs_traversals,omitempty"` // baselines only
+}
+
+func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, timedOut bool,
+	witnessA, witnessB uint32, elapsed time.Duration, st *core.Stats, baselineBFS int64) error {
+	witness := func(v uint32) int64 {
+		if v == graph.NoVertex {
+			return -1
+		}
+		return int64(v)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(jsonResult{
+		Algorithm:     algo,
+		Graph:         graphPath,
+		Diameter:      diameter,
+		Infinite:      infinite,
+		TimedOut:      timedOut,
+		WitnessA:      witness(witnessA),
+		WitnessB:      witness(witnessB),
+		ElapsedNS:     elapsed.Nanoseconds(),
+		Stats:         st,
+		BFSTraversals: baselineBFS,
+	})
 }
 
 func report(out io.Writer, diameter int32, infinite, timedOut bool, elapsed time.Duration) {

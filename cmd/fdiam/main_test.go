@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,12 +83,156 @@ func TestRunDirectionAndProfileFlags(t *testing.T) {
 		t.Errorf("tuned run wrong: %q", buf.String())
 	}
 	for _, p := range []string{cpu, mem} {
-		info, err := os.Stat(p)
+		data, err := os.ReadFile(p)
 		if err != nil {
 			t.Errorf("profile %s not written: %v", p, err)
-		} else if info.Size() == 0 {
-			t.Errorf("profile %s is empty", p)
+			continue
 		}
+		// pprof profiles are gzipped protobuf; the gzip magic proves a
+		// real profile was serialized, not just an empty file created.
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("profile %s is not a gzipped pprof profile (%d bytes)", p, len(data))
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTempGraph(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Algorithm string `json:"algorithm"`
+		Graph     string `json:"graph"`
+		Diameter  int32  `json:"diameter"`
+		Infinite  bool   `json:"infinite"`
+		TimedOut  bool   `json:"timed_out"`
+		WitnessA  int64  `json:"witness_a"`
+		WitnessB  int64  `json:"witness_b"`
+		ElapsedNS int64  `json:"elapsed_ns"`
+		Stats     *struct {
+			Vertices    int   `json:"vertices"`
+			EccBFS      int64 `json:"ecc_bfs"`
+			WinnowCalls int64 `json:"winnow_calls"`
+			Removed     int64 `json:"removed_winnow"`
+			TimeTotalNS int64 `json:"time_total_ns"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Algorithm != "fdiam" || doc.Diameter != 10 || doc.Infinite || doc.TimedOut {
+		t.Errorf("-json result wrong: %+v", doc)
+	}
+	if doc.WitnessA < 0 || doc.WitnessB < 0 || doc.ElapsedNS <= 0 {
+		t.Errorf("-json witnesses/elapsed wrong: %+v", doc)
+	}
+	if doc.Stats == nil || doc.Stats.Vertices != 36 || doc.Stats.EccBFS == 0 || doc.Stats.TimeTotalNS <= 0 {
+		t.Errorf("-json stats wrong: %+v", doc.Stats)
+	}
+
+	// Baselines emit bfs_traversals instead of the stats block.
+	buf.Reset()
+	if err := run([]string{"-json", "-algo", "ifub", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var base struct {
+		Diameter      int32            `json:"diameter"`
+		WitnessA      int64            `json:"witness_a"`
+		Stats         *json.RawMessage `json:"stats"`
+		BFSTraversals int64            `json:"bfs_traversals"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("baseline -json not JSON: %v\n%s", err, buf.String())
+	}
+	if base.Diameter != 10 || base.WitnessA != -1 || base.Stats != nil || base.BFSTraversals == 0 {
+		t.Errorf("baseline -json wrong: %+v (%s)", base, buf.String())
+	}
+}
+
+func TestRunTraceAndEventsFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.trace.json")
+	events := filepath.Join(dir, "run.ndjson")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", trace, "-events", events, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("-trace output is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("-trace output is empty")
+	}
+	begins, ends := 0, 0
+	for _, e := range evs {
+		switch e["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("trace has %d B and %d E events, want equal and > 0", begins, ends)
+	}
+	data, err = os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("-events line %d is not JSON: %s", i+1, line)
+		}
+	}
+
+	// The observability flags are wired to the F-Diam solver only.
+	if err := run([]string{"-algo", "ifub", "-trace", trace, path}, &buf); err == nil {
+		t.Error("-trace with a baseline algorithm accepted")
+	}
+}
+
+func TestRunProgressFlag(t *testing.T) {
+	// -progress writes to stderr; swap it for a pipe for the duration.
+	path := writeTempGraph(t)
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = wr
+	runErr := run([]string{"-progress", "1ms", "-workers", "1", path}, io.Discard)
+	os.Stderr = old
+	wr.Close()
+	out, _ := io.ReadAll(rd)
+	rd.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	// The run may finish before the first tick on a tiny graph; only the
+	// format is asserted when lines did appear.
+	if s := string(out); len(s) > 0 && (!strings.Contains(s, "fdiam: stage=") || !strings.Contains(s, "bound=")) {
+		t.Errorf("-progress output wrong: %q", s)
+	}
+}
+
+func TestRunHTTPFlag(t *testing.T) {
+	path := writeTempGraph(t)
+	var buf bytes.Buffer
+	// 127.0.0.1:0 picks a free port; the server only lives for the run,
+	// so this is a smoke test that the flag wires up and tears down.
+	if err := run([]string{"-http", "127.0.0.1:0", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diameter: 10") {
+		t.Errorf("-http run wrong: %q", buf.String())
 	}
 }
 

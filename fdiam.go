@@ -38,6 +38,7 @@ import (
 	"fdiam/internal/gen"
 	"fdiam/internal/graph"
 	"fdiam/internal/graphio"
+	"fdiam/internal/obs"
 )
 
 // Graph is an immutable undirected graph in compressed-sparse-row form.
@@ -65,6 +66,51 @@ type Result = core.Result
 
 // Stats holds the evaluation metrics of a run.
 type Stats = core.Stats
+
+//
+// Observability — structured run tracing, Chrome trace export, metrics, and
+// live progress (see internal/obs).
+//
+
+// TraceConfig selects the event sinks of an observability run: a Chrome
+// trace-event JSON writer (Perfetto / chrome://tracing), an NDJSON event-log
+// writer, and the metrics registry (nil selects DefaultMetrics).
+type TraceConfig = obs.Config
+
+// TraceRun is an observability run. Set it as Options.Trace to receive
+// run/stage/traversal/level spans and live progress from a Diameter
+// computation; call Finish when done to flush the sinks. A nil *TraceRun
+// disables all instrumentation with zero overhead.
+type TraceRun = obs.Run
+
+// RunSnapshot is the live progress view of a TraceRun (current stage, bound,
+// active vertices, elapsed time) — the /progress JSON document.
+type RunSnapshot = obs.Snapshot
+
+// MetricsRegistry is a named counter/gauge set with Prometheus text-format
+// exposition.
+type MetricsRegistry = obs.Registry
+
+// ObservabilityServer is a live /metrics + /progress + /debug/pprof endpoint.
+type ObservabilityServer = obs.Server
+
+// NewTraceRun creates an observability run and installs it as the
+// process-wide current run (read by /progress).
+func NewTraceRun(cfg TraceConfig) *TraceRun { return obs.NewRun(cfg) }
+
+// CurrentTraceRun returns the most recently created TraceRun (possibly
+// already finished), or nil.
+func CurrentTraceRun() *TraceRun { return obs.Current() }
+
+// DefaultMetrics returns the process-wide metrics registry, where the BFS
+// and worker-pool instruments register.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// ServeObservability serves /metrics (Prometheus text), /progress (JSON
+// snapshot of the current run), and /debug/pprof on addr (e.g. ":6060", or
+// "127.0.0.1:0" for a free port — read it back with Addr). Close the
+// returned server to stop.
+func ServeObservability(addr string) (*ObservabilityServer, error) { return obs.Serve(addr, nil) }
 
 // NewBuilder creates a Builder for a graph with n vertices (the graph grows
 // automatically if larger vertex ids are added).

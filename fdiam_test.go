@@ -1,8 +1,11 @@
 package fdiam
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -216,5 +219,44 @@ func TestFloydWarshallAndApproxPublicAPI(t *testing.T) {
 	est := EstimateDiameter(g, 0, 1)
 	if est > want || est < 2*want/3 {
 		t.Errorf("estimate %d outside [2D/3, D] for D=%d", est, want)
+	}
+}
+
+func TestObservabilityFacade(t *testing.T) {
+	srv, err := ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var trace bytes.Buffer
+	run := NewTraceRun(TraceConfig{ChromeTrace: &trace})
+	if CurrentTraceRun() != run {
+		t.Error("NewTraceRun did not install the current run")
+	}
+	res := DiameterWithOptions(NewGrid2D(8, 8), Options{Trace: run})
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Diameter != 14 {
+		t.Fatalf("traced diameter = %d, want 14", res.Diameter)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &evs); err != nil {
+		t.Fatalf("facade trace not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Error("facade trace is empty")
+	}
+	var snap RunSnapshot = run.Snapshot()
+	if snap.State != "done" || snap.Bound != 14 {
+		t.Errorf("snapshot = %+v, want done/14", snap)
+	}
+	var metrics bytes.Buffer
+	if err := DefaultMetrics().WriteText(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "fdiam_bfs_traversals_total") {
+		t.Error("default metrics missing fdiam_bfs_traversals_total")
 	}
 }

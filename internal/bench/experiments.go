@@ -47,7 +47,9 @@ type MainRow struct {
 }
 
 // MainSweep measures the paper's five codes (Table 2 / Figure 6) on every
-// workload. Workload graphs are released after use.
+// workload. Workload graphs are released after use. With cfg.TraceDir set,
+// each traceable code additionally does one untimed run per workload to
+// emit a Chrome trace artifact.
 func MainSweep(workloads []*Workload, cfg Config, progress io.Writer) []MainRow {
 	codes := MainCodes()
 	rows := make([]MainRow, 0, len(workloads))
@@ -65,6 +67,15 @@ func MainSweep(workloads []*Workload, cfg Config, progress io.Writer) []MainRow 
 					fmt.Fprintf(progress, " T/O\n")
 				} else {
 					fmt.Fprintf(progress, " %8.3fs  diam=%d\n", m.Runtime.Seconds(), m.Diameter)
+				}
+			}
+			path, err := TraceArtifact(c, g, cfg, wl.Name+"-"+c.Name)
+			if progress != nil {
+				switch {
+				case err != nil:
+					fmt.Fprintf(progress, "    trace failed: %v\n", err)
+				case path != "":
+					fmt.Fprintf(progress, "    wrote %s\n", path)
 				}
 			}
 		}

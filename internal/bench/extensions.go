@@ -22,19 +22,19 @@ import (
 func ExtensionCodes() []Code {
 	return []Code{
 		FDiamPar,
-		{"Takes-Kosters", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		{Name: "Takes-Kosters", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromBaseline(baseline.TakesKosters(g, baseline.Options{Workers: workers, Timeout: to}))
 		}},
-		{"Korf", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		{Name: "Korf", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromBaseline(baseline.Korf(g, baseline.Options{Workers: workers, Timeout: to}))
 		}},
-		{"Vertex-centric", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		{Name: "Vertex-centric", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromBaseline(baseline.VertexCentric(g, baseline.Options{Workers: workers, Timeout: to}))
 		}},
-		{"Naive APSP-BFS", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		{Name: "Naive APSP-BFS", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromBaseline(baseline.Naive(g, baseline.Options{Workers: workers, Timeout: to}))
 		}},
-		{"Blocked F-W", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+		{Name: "Blocked F-W", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromBaseline(baseline.FloydWarshall(g, baseline.Options{Workers: workers, Timeout: to}))
 		}},
 	}
@@ -159,7 +159,7 @@ func TableDirOpt(w io.Writer, workloads []*Workload, cfg Config) {
 	for _, wl := range workloads {
 		g := wl.Graph()
 		hybrid := Measure(FDiamPar, g, cfg)
-		plain := Measure(Code{"top-down", func(gg *graph.Graph, workers int, to time.Duration) Outcome {
+		plain := Measure(Code{Name: "top-down", Run: func(gg *graph.Graph, workers int, to time.Duration) Outcome {
 			return fromCore(coreDiameterNoDirOpt(gg, workers, to))
 		}}, g, cfg)
 		speed := "n/a"

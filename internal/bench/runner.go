@@ -1,11 +1,16 @@
 package bench
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"fdiam/internal/baseline"
 	"fdiam/internal/core"
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 	"fdiam/internal/stats"
 )
 
@@ -23,23 +28,41 @@ type Code struct {
 	// Run executes the code once with the given worker count and
 	// per-run timeout.
 	Run func(g *graph.Graph, workers int, timeout time.Duration) Outcome
+	// RunTraced, when non-nil, executes the code once with an
+	// observability run attached (F-Diam variants only — the baselines
+	// carry no instrumentation). Timed measurements never use it; it
+	// exists so the harness can emit trace artifacts from separate,
+	// untimed runs.
+	RunTraced func(g *graph.Graph, workers int, timeout time.Duration, tr *obs.Run) Outcome
 }
 
 // The five codes of Figure 6 / Table 2, in the paper's order.
 var (
-	FDiamSer = Code{"F-Diam (ser)", func(g *graph.Graph, _ int, to time.Duration) Outcome {
-		return fromCore(core.Diameter(g, core.Options{Workers: 1, Timeout: to}))
-	}}
-	FDiamPar = Code{"F-Diam (par)", func(g *graph.Graph, workers int, to time.Duration) Outcome {
-		return fromCore(core.Diameter(g, core.Options{Workers: workers, Timeout: to}))
-	}}
-	IFUBSer = Code{"iFUB (ser)", func(g *graph.Graph, _ int, to time.Duration) Outcome {
+	FDiamSer = Code{
+		Name: "F-Diam (ser)",
+		Run: func(g *graph.Graph, _ int, to time.Duration) Outcome {
+			return fromCore(core.Diameter(g, core.Options{Workers: 1, Timeout: to}))
+		},
+		RunTraced: func(g *graph.Graph, _ int, to time.Duration, tr *obs.Run) Outcome {
+			return fromCore(core.Diameter(g, core.Options{Workers: 1, Timeout: to, Trace: tr}))
+		},
+	}
+	FDiamPar = Code{
+		Name: "F-Diam (par)",
+		Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
+			return fromCore(core.Diameter(g, core.Options{Workers: workers, Timeout: to}))
+		},
+		RunTraced: func(g *graph.Graph, workers int, to time.Duration, tr *obs.Run) Outcome {
+			return fromCore(core.Diameter(g, core.Options{Workers: workers, Timeout: to, Trace: tr}))
+		},
+	}
+	IFUBSer = Code{Name: "iFUB (ser)", Run: func(g *graph.Graph, _ int, to time.Duration) Outcome {
 		return fromBaseline(baseline.IFUB(g, baseline.Options{Workers: 1, Timeout: to}))
 	}}
-	IFUBPar = Code{"iFUB (par)", func(g *graph.Graph, workers int, to time.Duration) Outcome {
+	IFUBPar = Code{Name: "iFUB (par)", Run: func(g *graph.Graph, workers int, to time.Duration) Outcome {
 		return fromBaseline(baseline.IFUB(g, baseline.Options{Workers: workers, Timeout: to}))
 	}}
-	GraphDiam = Code{"Graph-Diam.", func(g *graph.Graph, _ int, to time.Duration) Outcome {
+	GraphDiam = Code{Name: "Graph-Diam.", Run: func(g *graph.Graph, _ int, to time.Duration) Outcome {
 		return fromBaseline(baseline.Bounding(g, baseline.Options{Workers: 1, Timeout: to}))
 	}}
 )
@@ -53,12 +76,20 @@ func MainCodes() []Code {
 // (all parallel, as in the paper).
 func AblationCodes(workers int) []Code {
 	mk := func(name string, opt core.Options) Code {
-		return Code{name, func(g *graph.Graph, w int, to time.Duration) Outcome {
+		run := func(g *graph.Graph, w int, to time.Duration, tr *obs.Run) Outcome {
 			o := opt
 			o.Workers = w
 			o.Timeout = to
+			o.Trace = tr
 			return fromCore(core.Diameter(g, o))
-		}}
+		}
+		return Code{
+			Name: name,
+			Run: func(g *graph.Graph, w int, to time.Duration) Outcome {
+				return run(g, w, to, nil)
+			},
+			RunTraced: run,
+		}
 	}
 	return []Code{
 		mk("F-Diam", core.Options{}),
@@ -112,6 +143,10 @@ type Config struct {
 	Timeout time.Duration
 	// Workers for the parallel codes (0 = GOMAXPROCS).
 	Workers int
+	// TraceDir, when non-empty, makes sweeps emit a Chrome trace-event
+	// artifact per (workload, traceable code) pair from one extra
+	// untimed run each. Timed measurements are never traced.
+	TraceDir string
 }
 
 // DefaultConfig returns the harness defaults: 3 runs, 30 s timeout.
@@ -140,4 +175,49 @@ func Measure(c Code, g *graph.Graph, cfg Config) Measurement {
 		m.Throughput = float64(g.NumVertices()) / secs
 	}
 	return m
+}
+
+// TraceArtifact runs c once, untimed, with a Chrome tracer attached and
+// writes <cfg.TraceDir>/<label>.trace.json. It returns ("", nil) without
+// running when cfg.TraceDir is empty or the code is not traceable.
+func TraceArtifact(c Code, g *graph.Graph, cfg Config, label string) (string, error) {
+	if cfg.TraceDir == "" || c.RunTraced == nil {
+		return "", nil
+	}
+	path := filepath.Join(cfg.TraceDir, Slug(label)+".trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("trace artifact: %w", err)
+	}
+	tr := obs.NewRun(obs.Config{ChromeTrace: f})
+	c.RunTraced(g, cfg.Workers, cfg.Timeout, tr)
+	err = tr.Finish()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("trace artifact %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// Slug turns a workload or code name into a filename-safe token:
+// lowercased, with every run of non-alphanumerics collapsed to one dash
+// ("F-Diam (ser)" → "f-diam-ser").
+func Slug(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String()
 }

@@ -2,9 +2,11 @@ package bfs
 
 import (
 	"runtime"
+	"time"
 
 	"fdiam/internal/bitset"
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 	"fdiam/internal/par"
 )
 
@@ -68,6 +70,13 @@ type Engine struct {
 
 	// dirOpt enables the direction-optimized hybrid for full traversals.
 	dirOpt bool
+
+	// trace receives structured traversal/level events; nil (the default)
+	// disables tracing at the cost of one pointer compare per level. The
+	// per-level hook supersedes the bare DirSwitches counters below as
+	// the observability channel for the α/β heuristic — the counters stay
+	// for the cheap always-on Stats summary.
+	trace *obs.Run
 
 	// Counter for the paper's Table 3 / §6.3 accounting.
 	fullTraversals int64
@@ -168,6 +177,12 @@ func (e *Engine) SetAlphaBeta(alpha, beta int) {
 	e.alpha, e.beta = alpha, beta
 }
 
+// SetTracer attaches an observability run to the engine: every traversal
+// becomes a span and every completed level a duration event carrying the
+// kernel chosen, frontier size, frontier arc count, and unvisited
+// remainder. nil detaches (the default); the nil path is allocation-free.
+func (e *Engine) SetTracer(r *obs.Run) { e.trace = r }
+
 // SetSerialCutoff overrides the frontier size below which parallel
 // traversals expand serially (default 1024).
 func (e *Engine) SetSerialCutoff(c int) {
@@ -213,7 +228,7 @@ func (e *Engine) CountTraversal() { e.fullTraversals++ }
 // vertex.
 func (e *Engine) Eccentricity(src graph.Vertex) int32 {
 	e.fullTraversals++
-	return e.run([]graph.Vertex{src}, -1, true, nil, nil)
+	return e.run("ecc", []graph.Vertex{src}, -1, true, nil, nil)
 }
 
 // LastFrontier returns the last non-empty frontier of the most recent
@@ -236,7 +251,7 @@ func (e *Engine) Distances(src graph.Vertex, dist []int32) int32 {
 		}
 	})
 	dist[src] = 0
-	return e.run([]graph.Vertex{src}, -1, true, nil, func(level int32, frontier []graph.Vertex) {
+	return e.run("dist", []graph.Vertex{src}, -1, true, nil, func(level int32, frontier []graph.Vertex) {
 		if len(frontier) >= e.serialCutoff && e.workers > 1 {
 			e.parForWorker(len(frontier), e.workers, 0, func(_, lo, hi int) {
 				for _, v := range frontier[lo:hi] {
@@ -269,13 +284,13 @@ func (e *Engine) Partial(seeds []graph.Vertex, maxLevels int32, parallel bool,
 	if !parallel {
 		workers = 1
 	}
-	return e.runWith(seeds, maxLevels, false, workers, skip, onLevel)
+	return e.runWith("partial", seeds, maxLevels, false, workers, skip, onLevel)
 }
 
 // run executes the traversal with the engine's configured worker count.
-func (e *Engine) run(seeds []graph.Vertex, maxLevels int32, dirOpt bool,
+func (e *Engine) run(kind string, seeds []graph.Vertex, maxLevels int32, dirOpt bool,
 	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
-	return e.runWith(seeds, maxLevels, dirOpt, e.workers, skip, onLevel)
+	return e.runWith(kind, seeds, maxLevels, dirOpt, e.workers, skip, onLevel)
 }
 
 // runWith is the single traversal core shared by every entry point. It
@@ -311,8 +326,10 @@ func (e *Engine) run(seeds []graph.Vertex, maxLevels int32, dirOpt bool,
 // switching is actually in play. An unvisited-vertex count terminates the
 // traversal as soon as the component is exhausted, without a final empty
 // expansion.
-func (e *Engine) runWith(seeds []graph.Vertex, maxLevels int32, dirOpt bool, workers int,
+func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dirOpt bool, workers int,
 	skip func(graph.Vertex) bool, onLevel func(level int32, frontier []graph.Vertex)) int32 {
+	tr := e.trace
+	tr.TraversalStart(kind, len(seeds))
 	e.marks.Next()
 	e.lastSwitches = 0
 	n := e.g.NumVertices()
@@ -357,22 +374,40 @@ func (e *Engine) runWith(seeds []graph.Vertex, maxLevels int32, dirOpt bool, wor
 						if mf := float64(e.frontierArcs()); alpha*mf > fn+probes/mf {
 							bottomUp = true
 							e.lastSwitches++
+							tr.DirSwitch(level+1, true)
 						}
 					}
 				}
 			} else if nf < n/e.beta {
 				bottomUp = false
 				e.lastSwitches++
+				tr.DirSwitch(level+1, false)
 			}
 		}
+		// Tracing pre-work stays off the nil path: the arc sum is O(nf)
+		// and only the trace consumes it.
+		var lvlStart time.Time
+		var lvlArcs int64
+		if tr != nil {
+			lvlStart = time.Now()
+			lvlArcs = e.frontierArcs()
+		}
+		var step obs.Step
 		e.wl2 = e.wl2[:0]
 		switch {
 		case bottomUp:
+			if workers > 1 && n >= e.serialCutoff {
+				step = obs.StepBottomUpParallel
+			} else {
+				step = obs.StepBottomUpSerial
+			}
 			candsOK = e.bottomUpStep(workers, candsOK)
 		case workers > 1 && nf >= e.serialCutoff:
+			step = obs.StepTopDownParallel
 			e.topDownParallel(workers, skip)
 			candsOK = false
 		default:
+			step = obs.StepTopDownSerial
 			e.topDownSerial(skip)
 			candsOK = false
 		}
@@ -385,11 +420,13 @@ func (e *Engine) runWith(seeds []graph.Vertex, maxLevels int32, dirOpt bool, wor
 		if onLevel != nil {
 			onLevel(level, e.wl2)
 		}
+		tr.LevelDone(level, step, len(e.wl2), lvlArcs, unvisited, lvlStart)
 		// After the swap wl1 always holds the deepest non-empty frontier,
 		// so LastFrontier needs no copy.
 		e.wl1, e.wl2 = e.wl2, e.wl1
 	}
 	e.switches += e.lastSwitches
+	tr.TraversalEnd(level, e.reached, e.lastSwitches)
 	return level
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 )
 
 // chains runs Chain Processing (Algorithm 4, §4.3). Every degree-1 vertex x
@@ -27,6 +28,11 @@ import (
 // remove exactly the high-eccentricity periphery vertices that Winnow and
 // Eliminate cannot reach (§6.4).
 func (s *solver) chains() {
+	tr := s.opt.Trace
+	if tr != nil {
+		tr.SetStage("chain")
+		tr.Begin("stage", "chain")
+	}
 	t0 := time.Now()
 	g := s.g
 	n := g.NumVertices()
@@ -84,4 +90,8 @@ func (s *solver) chains() {
 		s.reactivate(x)
 	}
 	s.stats.TimeChain += time.Since(t0)
+	if tr != nil {
+		tr.End("stage", "chain", obs.I("removed_total", s.stats.RemovedChain))
+		s.observeProgress()
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 )
 
 // eliminateFrom is the Eliminate operation (Algorithm 5), generalized to
@@ -28,6 +29,11 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 		return
 	}
 	s.stats.EliminateCalls++
+	tr := s.opt.Trace
+	if tr != nil {
+		tr.Begin("stage", "eliminate",
+			obs.I("seeds", int64(len(seeds))), obs.I("radius", int64(limit-startVal)))
+	}
 	s.e.Partial(seeds, limit-startVal, false, nil, func(level int32, frontier []graph.Vertex) {
 		val := startVal + level
 		for _, v := range frontier {
@@ -46,6 +52,9 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 			}
 		}
 	})
+	if tr != nil {
+		tr.End("stage", "eliminate", obs.I("removed_total", s.stats.RemovedEliminate))
+	}
 }
 
 // extendEliminated grows all previously eliminated regions after the bound

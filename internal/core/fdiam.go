@@ -5,6 +5,7 @@ import (
 
 	"fdiam/internal/bfs"
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 	"fdiam/internal/par"
 )
 
@@ -64,6 +65,7 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 	e := bfs.New(g, workers)
 	e.SetDirectionOptimized(!opt.DisableDirectionOpt)
 	e.SetAlphaBeta(opt.BFSAlpha, opt.BFSBeta)
+	e.SetTracer(opt.Trace)
 	s := &solver{
 		g:        g,
 		e:        e,
@@ -89,6 +91,20 @@ func (s *solver) run() Result {
 	tStart := time.Now()
 	n := s.g.NumVertices()
 	s.stats.Vertices = n
+	tr := s.opt.Trace
+	if tr != nil {
+		tr.SetVertices(int64(n))
+		tr.Begin("run", "diameter", obs.I("vertices", int64(n)))
+		defer func() {
+			s.observeProgress()
+			tr.SetStage("done")
+			tr.End("run", "diameter",
+				obs.I("diameter", int64(s.bound)),
+				obs.I("ecc_bfs", s.stats.EccBFS),
+				obs.I("winnow_calls", s.stats.WinnowCalls),
+				obs.I("eliminate_calls", s.stats.EliminateCalls))
+		}()
+	}
 	if n == 0 {
 		return Result{WitnessA: graph.NoVertex, WitnessB: graph.NoVertex, Stats: s.stats}
 	}
@@ -96,6 +112,10 @@ func (s *solver) run() Result {
 	// Initialization: state arrays and the degree-0 pass. Isolated
 	// vertices have eccentricity 0 and need no BFS (Table 4's last
 	// column).
+	if tr != nil {
+		tr.SetStage("init")
+		tr.Begin("stage", "init")
+	}
 	tInit := time.Now()
 	s.ecc = make([]int32, n)
 	s.stage = make([]Stage, n)
@@ -111,6 +131,10 @@ func (s *solver) run() Result {
 		}
 	}
 	s.stats.TimeInit = time.Since(tInit)
+	if tr != nil {
+		tr.End("stage", "init", obs.I("removed_degree0", s.stats.RemovedDegree0))
+		s.observeProgress()
+	}
 	if firstNonIsolated < 0 {
 		// Edgeless graph: every eccentricity is 0 and no pair of
 		// distinct vertices witnesses a positive diameter.
@@ -132,6 +156,10 @@ func (s *solver) run() Result {
 
 	// Initial diameter via 2-sweep (§4.1): ecc(u), then the eccentricity
 	// of a vertex w maximally far from u becomes the initial bound.
+	if tr != nil {
+		tr.SetStage("2-sweep")
+		tr.Begin("stage", "2-sweep", obs.I("start", int64(s.start)))
+	}
 	tEcc := time.Now()
 	uEcc := s.e.Eccentricity(s.start)
 	s.stats.EccBFS++
@@ -150,6 +178,12 @@ func (s *solver) run() Result {
 		}
 	}
 	s.stats.TimeEcc += time.Since(tEcc)
+	if tr != nil {
+		tr.SetBound(int64(s.bound))
+		tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
+		tr.End("stage", "2-sweep", obs.I("bound", int64(s.bound)))
+		s.observeProgress()
+	}
 
 	// A BFS from start reaches exactly its component; together with the
 	// isolated-vertex count this decides connectivity with no extra pass.
@@ -171,6 +205,10 @@ func (s *solver) run() Result {
 	}
 
 	// Main loop (Algorithm 1): evaluate the remaining active vertices.
+	if tr != nil {
+		tr.SetStage("main-loop")
+		tr.Begin("stage", "main-loop")
+	}
 	timedOut := false
 	for v := 0; v < n; v++ {
 		if s.ecc[v] != Active {
@@ -178,6 +216,9 @@ func (s *solver) run() Result {
 		}
 		if s.timedOut() {
 			timedOut = true
+			if tr != nil {
+				tr.Instant("run", "timeout")
+			}
 			break
 		}
 		tEcc = time.Now()
@@ -193,6 +234,7 @@ func (s *solver) run() Result {
 			s.bound = vecc
 			s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
 			s.stats.BoundImprovements++
+			tr.BoundImproved(old, vecc, uint32(v))
 			if !s.opt.DisableWinnow {
 				s.winnow()
 			}
@@ -211,6 +253,10 @@ func (s *solver) run() Result {
 			// vecc == bound: only v itself is removed (already
 			// done by setComputed).
 		}
+		s.observeProgress()
+	}
+	if tr != nil {
+		tr.End("stage", "main-loop", obs.I("computed", s.stats.Computed))
 	}
 
 	s.stats.DirSwitches = s.e.DirectionSwitches()
@@ -223,6 +269,21 @@ func (s *solver) run() Result {
 		WitnessB: s.witnessB,
 		Stats:    s.stats,
 	}
+}
+
+// observeProgress pushes the live bound and active-vertex count to the
+// attached observability run (no-op without one). "Active" here is the
+// main-loop workload measure: vertices neither removed by any stage nor
+// already computed.
+func (s *solver) observeProgress() {
+	tr := s.opt.Trace
+	if tr == nil {
+		return
+	}
+	removed := s.stats.RemovedDegree0 + s.stats.RemovedWinnow +
+		s.stats.RemovedChain + s.stats.RemovedEliminate + s.stats.Computed
+	tr.SetActive(int64(s.stats.Vertices) - removed)
+	tr.SetBound(int64(s.bound))
 }
 
 // setComputed records an exactly computed eccentricity, which also removes

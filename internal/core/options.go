@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"fdiam/internal/obs"
+)
 
 // Options configures a Diameter computation. The zero value requests the
 // full parallel F-Diam algorithm with default parallelism.
@@ -42,6 +46,14 @@ type Options struct {
 	// sweeps these to validate the defaults per topology class.
 	BFSAlpha int
 	BFSBeta  int
+
+	// Trace attaches an observability run: the solver emits
+	// run/stage/traversal/level spans, bound-improvement instants, and
+	// live progress (stage, bound, active vertices) to it, and the BFS
+	// engine emits per-level events. nil (the default) disables all
+	// instrumentation with zero overhead — every emission site is
+	// nil-guarded and the hot-path methods are allocation-free on nil.
+	Trace *obs.Run
 
 	// Timeout aborts the computation after the given wall-clock duration
 	// (checked between BFS calls). Zero means no limit. A timed-out run

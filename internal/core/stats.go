@@ -9,42 +9,45 @@ import (
 // single F-Diam run: the BFS-traversal count (Table 3, counting
 // eccentricity BFS calls plus Winnow invocations), per-stage removal counts
 // (Table 4), and per-stage wall-clock time (Figure 8).
+// The json tags (durations serialize as nanoseconds) back the CLI's -json
+// output; field names are stable output format, not just Go API.
 type Stats struct {
-	Vertices int
+	Vertices int `json:"vertices"`
 
 	// EccBFS is the number of eccentricity-computing BFS traversals,
 	// including the two 2-sweep traversals.
-	EccBFS int64
+	EccBFS int64 `json:"ecc_bfs"`
 	// WinnowCalls is the number of Winnow invocations (initial + each
 	// incremental extension). The paper counts these as BFS traversals
 	// in Table 3 because a Winnow typically covers most of the graph.
-	WinnowCalls int64
+	WinnowCalls int64 `json:"winnow_calls"`
 	// EliminateCalls counts Eliminate invocations plus multi-source
 	// region extensions. Not counted as BFS traversals (paper §6.3).
-	EliminateCalls int64
+	EliminateCalls int64 `json:"eliminate_calls"`
 	// BoundImprovements counts how often the main loop found a vertex
 	// whose eccentricity exceeded the current bound.
-	BoundImprovements int64
+	BoundImprovements int64 `json:"bound_improvements"`
 	// DirSwitches counts the BFS engine's direction switches
 	// (top-down↔bottom-up, either way) summed over every traversal of
 	// the run — the observability hook for the α/β heuristic.
-	DirSwitches int64
+	DirSwitches int64 `json:"dir_switches"`
 
 	// Removal attribution (Table 4): how many vertices each stage
 	// removed from consideration.
-	RemovedWinnow    int64
-	RemovedEliminate int64
-	RemovedChain     int64
-	RemovedDegree0   int64
-	Computed         int64 // vertices whose eccentricity was computed explicitly
+	RemovedWinnow    int64 `json:"removed_winnow"`
+	RemovedEliminate int64 `json:"removed_eliminate"`
+	RemovedChain     int64 `json:"removed_chain"`
+	RemovedDegree0   int64 `json:"removed_degree0"`
+	// Computed counts vertices whose eccentricity was computed explicitly.
+	Computed int64 `json:"computed"`
 
 	// Stage timings (Figure 8).
-	TimeInit      time.Duration // setup: state arrays, degree-0 pass
-	TimeEcc       time.Duration // eccentricity BFS traversals (incl. 2-sweep)
-	TimeWinnow    time.Duration
-	TimeChain     time.Duration
-	TimeEliminate time.Duration
-	TimeTotal     time.Duration
+	TimeInit      time.Duration `json:"time_init_ns"` // setup: state arrays, degree-0 pass
+	TimeEcc       time.Duration `json:"time_ecc_ns"`  // eccentricity BFS traversals (incl. 2-sweep)
+	TimeWinnow    time.Duration `json:"time_winnow_ns"`
+	TimeChain     time.Duration `json:"time_chain_ns"`
+	TimeEliminate time.Duration `json:"time_eliminate_ns"`
+	TimeTotal     time.Duration `json:"time_total_ns"`
 }
 
 // BFSTraversals returns the paper's Table 3 metric.
@@ -96,19 +99,20 @@ type Result struct {
 	// Diameter is the largest eccentricity found over all connected
 	// components — the paper's "CC diameter" (Table 1). For a connected
 	// graph this is the exact graph diameter.
-	Diameter int32
+	Diameter int32 `json:"diameter"`
 	// Infinite reports that the input was disconnected (two or more
 	// components, counting isolated vertices), in which case the true
 	// diameter is infinite; Diameter then still holds the largest
 	// component-internal eccentricity, matching the paper's output.
-	Infinite bool
+	Infinite bool `json:"infinite"`
 	// TimedOut reports that Options.Timeout expired; Diameter is then
 	// only a lower bound.
-	TimedOut bool
+	TimedOut bool `json:"timed_out"`
 	// WitnessA and WitnessB are a vertex pair realizing the diameter:
 	// ecc(WitnessA) = Diameter and d(WitnessA, WitnessB) = Diameter.
 	// Both are NoVertex (MaxUint32) only for graphs with no edges.
-	WitnessA, WitnessB uint32
+	WitnessA uint32 `json:"witness_a"`
+	WitnessB uint32 `json:"witness_b"`
 	// Stats holds the evaluation metrics for this run.
-	Stats Stats
+	Stats Stats `json:"stats"`
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fdiam/internal/graph"
+	"fdiam/internal/obs"
 	"fdiam/internal/par"
 )
 
@@ -25,6 +26,12 @@ func (s *solver) winnow() {
 	first := s.winnowFrontier == nil
 	if !first && depth <= s.winnowDepth {
 		return
+	}
+	tr := s.opt.Trace
+	if tr != nil {
+		tr.SetStage("winnow")
+		tr.Begin("stage", "winnow",
+			obs.I("depth", int64(depth)), obs.I("from_depth", int64(s.winnowDepth)))
 	}
 	t0 := time.Now()
 	s.stats.WinnowCalls++
@@ -56,6 +63,10 @@ func (s *solver) winnow() {
 	s.winnowFrontier = append(s.winnowFrontier[:0], s.e.LastFrontier()...)
 	s.winnowDepth = depth
 	s.stats.TimeWinnow += time.Since(t0)
+	if tr != nil {
+		tr.End("stage", "winnow", obs.I("removed_total", s.stats.RemovedWinnow))
+		s.observeProgress()
+	}
 }
 
 // markWinnowed removes all Active vertices of a frontier. Vertices that

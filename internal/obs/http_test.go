@@ -1,0 +1,101 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fdiam/internal/core"
+	"fdiam/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// A finished run against the default registry gives /metrics live
+	// values and /progress a concrete document.
+	run := obs.NewRun(obs.Config{})
+	res := core.Diameter(traceGraph(), core.Options{Workers: 1, Trace: run})
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	ms := parseProm(t, body)
+	found := 0
+	for name := range ms {
+		if strings.HasPrefix(name, "fdiam_") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Errorf("/metrics has no fdiam_-prefixed series:\n%s", body)
+	}
+	if ms["fdiam_bound"].value != int64(res.Diameter) {
+		t.Errorf("fdiam_bound = %d, want %d", ms["fdiam_bound"].value, res.Diameter)
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if snap.State != "done" || snap.Bound != int64(res.Diameter) {
+		t.Errorf("/progress = %+v, want done with bound %d", snap, res.Diameter)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s status %d, want 200", path, code)
+		}
+	}
+}
+
+func TestProgressHandlerIdle(t *testing.T) {
+	prev := obs.Current()
+	obs.SetCurrent(nil)
+	defer obs.SetCurrent(prev)
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("idle /progress not JSON: %v\n%s", err, body)
+	}
+	if doc["state"] != "idle" {
+		t.Errorf("idle /progress state = %v, want idle", doc["state"])
+	}
+}

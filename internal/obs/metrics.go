@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be >= 0 for the exposition to stay Prometheus-legal;
+// this is not enforced on the hot path).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered instrument plus its exposition metadata.
+type metric struct {
+	name, help, typ string // typ: "counter" or "gauge"
+	counter         *Counter
+	gauge           *Gauge
+}
+
+func (m *metric) value() int64 {
+	if m.counter != nil {
+		return m.counter.Value()
+	}
+	return m.gauge.Value()
+}
+
+// Registry is a process-wide set of named counters and gauges with
+// Prometheus text-format exposition. Registration is idempotent: asking for
+// an existing name returns the existing instrument, so package-level
+// instruments survive multiple runs and accumulate process totals.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// defaultRegistry backs Default(). Package-level instruments (internal/par's
+// dispatch counters, every Run's BFS counters) register here so one /metrics
+// endpoint exposes the whole process.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it with the
+// given help text on first use. Panics if name is already a gauge — metric
+// types are a program invariant, not runtime input.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic("obs: metric " + name + " already registered as gauge")
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, typ: "counter", counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it with the given
+// help text on first use. Panics if name is already a counter.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.gauge == nil {
+			panic("obs: metric " + name + " already registered as counter")
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, typ: "gauge", gauge: g}
+	return g
+}
+
+// WriteText writes every registered metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name for deterministic output:
+//
+//	# HELP fdiam_bfs_levels_total BFS levels completed
+//	# TYPE fdiam_bfs_levels_total counter
+//	fdiam_bfs_levels_total 1234
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package obs_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fdiam/internal/core"
+	"fdiam/internal/obs"
+)
+
+// promMetric is one series parsed back out of the text exposition.
+type promMetric struct {
+	help, typ string
+	value     int64
+}
+
+// parseProm is a minimal Prometheus text-format (0.0.4) parser: it demands
+// the exact "# HELP name text", "# TYPE name type", "name value" triplet
+// shape the exporter writes, plus the format's own rules (TYPE before the
+// sample, one sample per series).
+func parseProm(t *testing.T, text string) map[string]promMetric {
+	t.Helper()
+	out := map[string]promMetric{}
+	var curHelp, curType, curName string
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+			curName, curHelp, curType = parts[0], parts[1], ""
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || parts[0] != curName {
+				t.Fatalf("line %d: TYPE does not follow its HELP: %q", i+1, line)
+			}
+			if parts[1] != "counter" && parts[1] != "gauge" {
+				t.Fatalf("line %d: unknown type %q", i+1, parts[1])
+			}
+			curType = parts[1]
+		default:
+			parts := strings.SplitN(line, " ", 2)
+			if len(parts) != 2 || parts[0] != curName || curType == "" {
+				t.Fatalf("line %d: sample does not follow HELP/TYPE: %q", i+1, line)
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad sample value: %q", i+1, line)
+			}
+			if _, dup := out[curName]; dup {
+				t.Fatalf("line %d: duplicate series %q", i+1, curName)
+			}
+			out[curName] = promMetric{help: curHelp, typ: curType, value: v}
+		}
+	}
+	return out
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("fdiam_test_ops_total", "operations performed")
+	g := reg.Gauge("fdiam_test_depth", "current depth")
+	c.Add(41)
+	c.Inc()
+	g.Set(100)
+	g.Add(-58)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ms := parseProm(t, buf.String())
+	if len(ms) != 2 {
+		t.Fatalf("parsed %d series, want 2:\n%s", len(ms), buf.String())
+	}
+	if m := ms["fdiam_test_ops_total"]; m.typ != "counter" || m.value != 42 || m.help != "operations performed" {
+		t.Errorf("counter round-trip = %+v", m)
+	}
+	if m := ms["fdiam_test_depth"]; m.typ != "gauge" || m.value != 42 || m.help != "current depth" {
+		t.Errorf("gauge round-trip = %+v", m)
+	}
+}
+
+func TestRegistryIdempotentAndTypeChecked(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("x_total", "help")
+	b := reg.Counter("x_total", "other help")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge under a counter name did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "help")
+}
+
+func TestRunPopulatesRegistry(t *testing.T) {
+	// Config.Registry nil selects Default(), so this run's instruments
+	// land on the process-wide registry next to internal/par's dispatch
+	// counters.
+	run := obs.NewRun(obs.Config{})
+	core.Diameter(traceGraph(), core.Options{Workers: 2, Trace: run})
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.Default().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ms := parseProm(t, buf.String())
+	for _, name := range []string{
+		"fdiam_bfs_traversals_total", "fdiam_bfs_levels_total",
+		"fdiam_bound", "fdiam_active_vertices",
+		"fdiam_par_pool_dispatches_total", "fdiam_par_workers_parked",
+	} {
+		if !strings.HasPrefix(name, "fdiam_") {
+			t.Fatalf("non-namespaced metric in test list: %q", name)
+		}
+		if _, ok := ms[name]; !ok {
+			t.Errorf("default registry missing %q", name)
+		}
+	}
+	if ms["fdiam_bfs_traversals_total"].value == 0 {
+		t.Error("fdiam_bfs_traversals_total is 0 after a traced run")
+	}
+}

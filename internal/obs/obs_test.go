@@ -1,0 +1,282 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fdiam/internal/core"
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+	"fdiam/internal/obs"
+)
+
+// traceGraph is an input that exercises every solver stage: the grid gives
+// multi-level traversals with direction switches, the caterpillar's legs
+// trigger Chain Processing, and the lollipop tail gives Eliminate radius.
+func traceGraph() *graph.Graph {
+	return gen.Disjoint(gen.Grid2D(20, 20), gen.Caterpillar(30, 2))
+}
+
+// chromeEvent mirrors the exporter's wire format for decoding in tests.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	S    string           `json:"s"`
+	Args map[string]int64 `json:"args"`
+}
+
+// runTraced runs F-Diam on traceGraph with Chrome and NDJSON sinks attached
+// and returns the decoded trace, the raw NDJSON, and the run.
+func runTraced(t *testing.T, workers int) ([]chromeEvent, string, *obs.Run, core.Result) {
+	t.Helper()
+	var chrome, events bytes.Buffer
+	run := obs.NewRun(obs.Config{ChromeTrace: &chrome, Events: &events, Registry: obs.NewRegistry()})
+	res := core.Diameter(traceGraph(), core.Options{Workers: workers, Trace: run})
+	if err := run.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(chrome.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, chrome.String())
+	}
+	return evs, events.String(), run, res
+}
+
+func TestChromeTraceNesting(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		evs, _, _, res := runTraced(t, workers)
+		if res.Diameter != 38 { // grid 20x20
+			t.Fatalf("workers=%d: diameter = %d, want 38", workers, res.Diameter)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("workers=%d: empty trace", workers)
+		}
+
+		var stack []chromeEvent
+		seen := map[string]bool{}
+		top := func() *chromeEvent {
+			if len(stack) == 0 {
+				return nil
+			}
+			return &stack[len(stack)-1]
+		}
+		for i, e := range evs {
+			if e.PID != 1 || e.TID != 1 {
+				t.Fatalf("workers=%d: event %d on track %d/%d, want 1/1", workers, i, e.PID, e.TID)
+			}
+			seen[e.Cat] = true
+			switch e.Ph {
+			case "B":
+				// Parent rules: run is outermost; stages nest in the
+				// run or in another stage (eliminate inside chain and
+				// main-loop); traversals only inside stages.
+				p := top()
+				switch e.Cat {
+				case "run":
+					if p != nil {
+						t.Fatalf("workers=%d: run span nested inside %s/%s", workers, p.Cat, p.Name)
+					}
+				case "stage":
+					if p == nil || (p.Cat != "run" && p.Cat != "stage") {
+						t.Fatalf("workers=%d: stage %q parent = %+v, want run or stage", workers, e.Name, p)
+					}
+				case "traversal":
+					if p == nil || p.Cat != "stage" {
+						t.Fatalf("workers=%d: traversal %q parent = %+v, want stage", workers, e.Name, p)
+					}
+				default:
+					t.Fatalf("workers=%d: unexpected span category %q", workers, e.Cat)
+				}
+				stack = append(stack, e)
+			case "E":
+				p := top()
+				if p == nil {
+					t.Fatalf("workers=%d: event %d closes an empty stack", workers, i)
+				}
+				if p.Cat != e.Cat || p.Name != e.Name {
+					t.Fatalf("workers=%d: E %s/%s closes open span %s/%s",
+						workers, e.Cat, e.Name, p.Cat, p.Name)
+				}
+				stack = stack[:len(stack)-1]
+			case "X":
+				if e.Cat != "level" {
+					t.Fatalf("workers=%d: complete event with category %q, want level", workers, e.Cat)
+				}
+				if p := top(); p == nil || p.Cat != "traversal" {
+					t.Fatalf("workers=%d: level event outside a traversal (top %+v)", workers, p)
+				}
+				if e.Dur == nil {
+					t.Fatalf("workers=%d: level event without dur", workers)
+				}
+			case "i":
+				if e.S != "t" {
+					t.Fatalf("workers=%d: instant scope %q, want t", workers, e.S)
+				}
+			default:
+				t.Fatalf("workers=%d: unknown phase %q", workers, e.Ph)
+			}
+		}
+		if len(stack) != 0 {
+			t.Fatalf("workers=%d: %d spans left open at end of trace", workers, len(stack))
+		}
+		for _, cat := range []string{"run", "stage", "traversal", "level"} {
+			if !seen[cat] {
+				t.Errorf("workers=%d: no %q events in trace", workers, cat)
+			}
+		}
+	}
+}
+
+func TestChromeTraceStageNames(t *testing.T) {
+	evs, _, _, _ := runTraced(t, 1)
+	stages := map[string]bool{}
+	for _, e := range evs {
+		if e.Ph == "B" && e.Cat == "stage" {
+			stages[e.Name] = true
+		}
+	}
+	for _, want := range []string{"init", "2-sweep", "winnow", "chain", "eliminate", "main-loop"} {
+		if !stages[want] {
+			t.Errorf("no %q stage span; got %v", want, stages)
+		}
+	}
+}
+
+func TestNDJSONEventLog(t *testing.T) {
+	_, ndjson, _, _ := runTraced(t, 1)
+	lines := strings.Split(strings.TrimSpace(ndjson), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty NDJSON log")
+	}
+	kinds := map[string]bool{}
+	for i, line := range lines {
+		var e struct {
+			Kind string  `json:"kind"`
+			Cat  string  `json:"cat"`
+			Name string  `json:"name"`
+			TSUS float64 `json:"ts_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		if e.Kind == "" || e.Cat == "" || e.Name == "" {
+			t.Fatalf("line %d missing fields: %s", i+1, line)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"begin", "end", "complete"} {
+		if !kinds[want] {
+			t.Errorf("no %q events in NDJSON log", want)
+		}
+	}
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewChromeTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("empty trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty trace decodes to %d events", len(evs))
+	}
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	run := obs.NewRun(obs.Config{Registry: obs.NewRegistry()})
+	res := core.Diameter(traceGraph(), core.Options{Workers: 1, Trace: run})
+	s := run.Snapshot()
+	if s.State != "running" {
+		t.Errorf("pre-Finish state = %q, want running", s.State)
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s = run.Snapshot()
+	if s.State != "done" || s.Stage != "done" {
+		t.Errorf("post-Finish snapshot = %+v, want state/stage done", s)
+	}
+	if s.Bound != int64(res.Diameter) {
+		t.Errorf("snapshot bound = %d, want diameter %d", s.Bound, res.Diameter)
+	}
+	if s.Vertices != int64(res.Stats.Vertices) {
+		t.Errorf("snapshot vertices = %d, want %d", s.Vertices, res.Stats.Vertices)
+	}
+	if s.BFSTraversals == 0 || s.BFSLevels == 0 {
+		t.Errorf("snapshot has no traversal/level progress: %+v", s)
+	}
+	if s.ElapsedSeconds <= 0 {
+		t.Errorf("snapshot elapsed = %v, want > 0", s.ElapsedSeconds)
+	}
+	elapsed := s.ElapsedSeconds
+	time.Sleep(5 * time.Millisecond)
+	if s2 := run.Snapshot(); s2.ElapsedSeconds != elapsed {
+		t.Errorf("elapsed not frozen after Finish: %v != %v", s2.ElapsedSeconds, elapsed)
+	}
+
+	var nilRun *obs.Run
+	if s := nilRun.Snapshot(); s.State != "" {
+		t.Errorf("nil run snapshot = %+v, want zero", s)
+	}
+}
+
+func TestLogProgress(t *testing.T) {
+	run := obs.NewRun(obs.Config{Registry: obs.NewRegistry()})
+	run.SetStage("main-loop")
+	run.SetBound(42)
+	run.SetVertices(1000)
+	run.SetActive(17)
+	var buf syncBuffer
+	stop := run.LogProgress(&buf, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "stage=main-loop") || !strings.Contains(out, "bound=42") ||
+		!strings.Contains(out, "active=17/1000") {
+		t.Errorf("progress line wrong: %q", out)
+	}
+
+	var nilRun *obs.Run
+	nilRun.LogProgress(&buf, time.Millisecond)() // nil-safe, stop callable
+}
+
+// syncBuffer guards a bytes.Buffer for the LogProgress goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// progressState is the lock-free live view of a run, written by the solver
+// through the Run setters and read concurrently by the /progress HTTP
+// handler and the -progress stderr logger.
+type progressState struct {
+	stage        atomic.Pointer[string]
+	vertices     atomic.Int64
+	bound        atomic.Int64
+	active       atomic.Int64
+	traversals   atomic.Int64
+	levels       atomic.Int64
+	improvements atomic.Int64
+	doneAt       atomic.Int64 // ns-since-run-start when finished; 0 = running
+}
+
+func (p *progressState) markDoneAt(elapsed time.Duration) {
+	// Preserve the first Finish; a second Finish is a no-op.
+	p.doneAt.CompareAndSwap(0, int64(elapsed))
+}
+
+// Snapshot is the /progress JSON document: one consistent-enough view of a
+// live (or finished) run. Field reads are individually atomic; the
+// snapshot is advisory, not transactional.
+type Snapshot struct {
+	// State is "running" or "done".
+	State string `json:"state"`
+	// Stage is the solver stage currently executing ("init", "2-sweep",
+	// "winnow", "chain", "main-loop", "done").
+	Stage string `json:"stage"`
+	// Bound is the current diameter lower bound.
+	Bound int64 `json:"bound"`
+	// ActiveVertices counts vertices still under consideration.
+	ActiveVertices int64 `json:"active_vertices"`
+	// Vertices is the input size.
+	Vertices int64 `json:"vertices"`
+	// BFSTraversals counts traversals issued so far (full + partial).
+	BFSTraversals int64 `json:"bfs_traversals"`
+	// BFSLevels counts BFS levels completed so far.
+	BFSLevels int64 `json:"bfs_levels"`
+	// BoundImprovements counts main-loop bound raises so far.
+	BoundImprovements int64 `json:"bound_improvements"`
+	// ElapsedSeconds is the wall-clock time since the run started,
+	// frozen once the run finishes.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Snapshot captures the current progress of the run. Safe to call
+// concurrently with the run; returns a zero Snapshot for a nil run.
+func (r *Run) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	p := &r.prog
+	s := Snapshot{
+		State:             "running",
+		Bound:             p.bound.Load(),
+		ActiveVertices:    p.active.Load(),
+		Vertices:          p.vertices.Load(),
+		BFSTraversals:     p.traversals.Load(),
+		BFSLevels:         p.levels.Load(),
+		BoundImprovements: p.improvements.Load(),
+	}
+	if st := p.stage.Load(); st != nil {
+		s.Stage = *st
+	}
+	if done := p.doneAt.Load(); done != 0 {
+		s.State = "done"
+		s.ElapsedSeconds = time.Duration(done).Seconds()
+	} else {
+		s.ElapsedSeconds = time.Since(r.start).Seconds()
+	}
+	return s
+}
+
+// Line renders the snapshot as the one-line status the -progress flag logs:
+//
+//	stage=main-loop bound=42 active=1234/100000 bfs=17 elapsed=12.3s
+func (s Snapshot) Line() string {
+	return fmt.Sprintf("stage=%s bound=%d active=%d/%d bfs=%d elapsed=%s",
+		s.Stage, s.Bound, s.ActiveVertices, s.Vertices, s.BFSTraversals,
+		time.Duration(s.ElapsedSeconds*float64(time.Second)).Round(100*time.Millisecond))
+}
+
+// LogProgress starts a goroutine that writes one status line to w every
+// interval until the returned stop function is called (idempotent) or the
+// run finishes. The long-run window the paper's 2.5 h timeout regime needs:
+// a glance at stderr shows whether the bound is still moving and how fast
+// the active set is draining.
+func (r *Run) LogProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s := r.Snapshot()
+				fmt.Fprintf(w, "fdiam: %s\n", s.Line())
+				if s.State == "done" {
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

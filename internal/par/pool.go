@@ -72,6 +72,9 @@ func (p *Pool) Close() {
 	p.jobMu.Lock()
 	defer p.jobMu.Unlock()
 	p.mu.Lock()
+	if !p.closed {
+		gWorkersParked.Add(int64(-p.parked))
+	}
 	p.closed = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -101,11 +104,13 @@ func (p *Pool) ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
 		return
 	}
 	if workers <= 1 || n == 1 {
+		cInlineRuns.Inc()
 		body(0, 0, n)
 		return
 	}
 	workers, chunk = normalize(n, workers, chunk)
 	if !p.jobMu.TryLock() {
+		cSpawnFallbacks.Inc()
 		ForWorkerSpawn(n, workers, chunk, body)
 		return
 	}
@@ -114,6 +119,7 @@ func (p *Pool) ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		cSpawnFallbacks.Inc()
 		ForWorkerSpawn(n, workers, chunk, body)
 		return
 	}
@@ -122,6 +128,7 @@ func (p *Pool) ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
 	// below even if they first park after gen is bumped.
 	for p.parked < workers-1 {
 		p.parked++
+		gWorkersParked.Add(1)
 		go p.workerLoop(p.gen)
 	}
 	j := &poolJob{
@@ -136,10 +143,13 @@ func (p *Pool) ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
 	waiters := p.parked
 	p.mu.Unlock()
 
+	cPoolDispatches.Inc()
+	gWorkersBusy.Add(int64(workers))
 	runChunks(j, 0)
 	if waiters > 0 {
 		<-j.done
 	}
+	gWorkersBusy.Add(int64(-workers))
 }
 
 // workerLoop parks on the pool's condition variable and acknowledges every
