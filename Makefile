@@ -1,0 +1,39 @@
+GO ?= go
+BIN := $(CURDIR)/bin
+
+.PHONY: all build test race lint checked fuzz-smoke fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# lint runs go vet plus the project analyzers (cmd/fdiamlint) over the
+# whole module, exactly as CI does.
+lint:
+	$(GO) vet ./...
+	mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/fdiamlint ./cmd/fdiamlint
+	$(GO) vet -vettool=$(BIN)/fdiamlint ./...
+
+# checked runs the core tests with the fdiam.checked assertion layer armed:
+# paper-theorem invariants at runtime plus the naive-baseline differential.
+checked:
+	$(GO) test -tags fdiam.checked -count=1 ./internal/core/...
+
+fuzz-smoke:
+	$(GO) test -tags fdiam.checked -fuzz=FuzzDiameterMatchesNaive -fuzztime=15s -run='^$$' ./internal/core/
+	$(GO) test -fuzz=FuzzReadAuto -fuzztime=15s -run='^$$' ./internal/graphio/
+	$(GO) test -fuzz=FuzzReadMETIS -fuzztime=15s -run='^$$' ./internal/graphio/
+
+fmt:
+	gofmt -l -w .
+
+clean:
+	rm -rf $(BIN)

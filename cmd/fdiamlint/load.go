@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fdiam/internal/analysis"
+)
+
+// exportImporter resolves imports from compiler export data files, the way
+// the compiler itself consumes dependencies. importMap translates source
+// import paths to canonical package paths (identity outside vendoring);
+// packageFile locates each canonical path's export data.
+func exportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// checkPackage parses and type-checks one package's files and runs the
+// analyzer suite over it, returning the surviving diagnostics.
+func checkPackage(fset *token.FileSet, pkgPath string, filenames []string,
+	imp types.Importer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAnalyzers(analysis.All(), fset, files, pkg, info)
+}
+
+// printDiagnostics renders diagnostics in the conventional
+// file:line:col format, with paths relative to the working directory when
+// possible, sorted for deterministic output.
+func printDiagnostics(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	wd, _ := os.Getwd()
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: %s", name, pos.Line, pos.Column, d.Message))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

@@ -1,0 +1,77 @@
+// Command fdiamlint runs the project's custom static analyzers
+// (internal/analysis: nakedgo, atomicfield, hotalloc, errdrop) over fdiam
+// packages. It speaks two protocols:
+//
+//	fdiamlint ./...                      # standalone, like a mini multichecker
+//	go vet -vettool=$(which fdiamlint) ./...   # cmd/go unit-checking protocol
+//
+// The standalone mode loads packages through `go list -deps -export`, so
+// dependencies are consumed as compiler export data rather than re-parsed
+// source; the vettool mode implements the JSON .cfg contract cmd/go uses
+// for vet tools (the same contract as x/tools' unitchecker, reimplemented
+// here because this build environment has no module network access).
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics reported
+// (matching go vet's expectation for its vet tools).
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+
+	"fdiam/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// cmd/go interrogates vet tools for their flag set; the suite
+			// is not configurable, so the answer is empty.
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			usage(os.Stdout)
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		usage(os.Stderr)
+		os.Exit(1)
+	}
+	os.Exit(standalone(args))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: fdiamlint <packages>   (e.g. fdiamlint ./...)\n")
+	fmt.Fprintf(w, "   or: go vet -vettool=$(which fdiamlint) <packages>\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nsuppress one finding with a justified directive on the line above:\n")
+	fmt.Fprintf(w, "  //fdiamlint:ignore <analyzer> <reason>\n")
+}
+
+// printVersion implements the -V=full handshake: cmd/go hashes this line
+// into its action cache key, so it must change whenever the tool's
+// behavior changes. Hashing the executable itself guarantees that.
+func printVersion() {
+	h := fnv.New64a()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("fdiamlint version devel-%x\n", h.Sum64())
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// driver consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// standalone loads the packages matched by patterns plus their transitive
+// dependencies' export data via the go command, analyzes every matched
+// (non-dependency) package, and prints diagnostics. Returns the process
+// exit code.
+func standalone(patterns []string) int {
+	goArgs := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdiamlint: go list: %v\n", err)
+		return 1
+	}
+
+	var targets []*listedPackage
+	packageFile := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, packageFile)
+	exit := 0
+	for _, p := range targets {
+		filenames := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, f)
+		}
+		diags, err := checkPackage(fset, p.ImportPath, filenames, imp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			printDiagnostics(os.Stdout, fset, diags)
+			exit = 2
+		}
+	}
+	return exit
+}

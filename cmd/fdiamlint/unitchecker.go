@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go hands a vet tool for
+// each package unit (the same contract x/tools' unitchecker consumes).
+// Fields the suite does not need are still listed so the decoder accepts
+// every cfg cmd/go produces.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit described by a cfg file, per the
+// `go vet -vettool` protocol: diagnostics go to stderr, the vetx facts
+// file must be produced either way (the suite exchanges no facts, so it is
+// a marker file), and the exit code is 2 iff diagnostics were reported.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fdiamlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	diags, err := checkPackage(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "fdiamlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiagnostics(os.Stderr, fset, diags)
+	return 2
+}
+
+// writeVetx produces the (empty) facts file cmd/go requires from every
+// vet tool run, dependency or target alike.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("fdiamlint: no facts\n"), 0o666)
+}

@@ -1,0 +1,176 @@
+// Package analysis is a minimal, dependency-free analogue of the
+// golang.org/x/tools/go/analysis framework, carrying the project-specific
+// analyzers that machine-check fdiam's concurrency and hot-path rules
+// (DESIGN.md §8). The container this repo builds in has no module network
+// access, so the framework is reimplemented on the stdlib go/ast + go/types
+// packages with the same shape as the upstream API: if x/tools ever becomes
+// available, each Analyzer ports by swapping the import.
+//
+// Analyzers are pure functions from a type-checked package (a Pass) to
+// diagnostics. Drivers — cmd/fdiamlint in both its standalone and
+// `go vet -vettool` modes, and the analysistest harness — own loading and
+// reporting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fdiamlint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `fdiamlint -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic to the driver. Drivers install a
+	// suppression-aware sink; analyzers should call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The repo rules
+// the analyzers enforce are production-code rules; tests spawn goroutines
+// and drop errors legitimately.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// WithStack walks the AST rooted at root, passing each node together with
+// the stack of its ancestors (stack[len(stack)-1] == n). Returning false
+// prunes the subtree.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// All returns the project's analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NakedGo, AtomicField, HotAlloc, ErrDrop}
+}
+
+// ignoreKey locates one suppression directive: diagnostics from the named
+// analyzer on the directive's line or the line directly below are dropped.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Suppressor indexes //fdiamlint:ignore directives across a package.
+//
+//	//fdiamlint:ignore nakedgo server lifecycle goroutine, not compute work
+//	go s.srv.Serve(ln)
+//
+// A directive must name the analyzer and give a non-empty justification;
+// a bare `//fdiamlint:ignore nakedgo` is intentionally inert, so every
+// suppression in the tree documents why the rule does not apply.
+type Suppressor struct {
+	keys map[ignoreKey]bool
+}
+
+// NewSuppressor scans the comments of files for ignore directives.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{keys: make(map[ignoreKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//fdiamlint:ignore ")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					continue // no justification: directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				s.keys[ignoreKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by an ignore directive on the same line or the line above.
+func (s *Suppressor) Suppressed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return s.keys[ignoreKey{p.Filename, p.Line, analyzer}] ||
+		s.keys[ignoreKey{p.Filename, p.Line - 1, analyzer}]
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// surviving (non-suppressed) diagnostics in source order of discovery.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	sup := NewSuppressor(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			if !sup.Suppressed(name, fset, d.Pos) {
+				d.Message = name + ": " + d.Message
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

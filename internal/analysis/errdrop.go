@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags calls whose error result is silently discarded in
+// production code. The diameter pipeline's bound bookkeeping makes wrong
+// answers look plausible (PAPER.md's exactness argument assumes inputs
+// parsed and written faithfully), so a swallowed I/O error in graphio or
+// the bench harness can surface as a "correct-looking" diameter on a
+// truncated graph. Flagged forms:
+//
+//	f()        // expression statement discarding a trailing error
+//	go f()     // goroutine discarding a trailing error
+//
+// Not flagged: explicit `_ =` assignment (a visible, greppable decision),
+// `defer f()` (the idiomatic Close-on-exit pattern), anything inside
+// _test.go files, fmt's Print family, and methods of bytes.Buffer /
+// strings.Builder (documented to never return a non-nil error).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag call statements that discard a trailing error result " +
+		"outside tests; use `_ =` or handle the error",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !dropsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s discards its error result", calleeName(pass, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// dropsError reports whether call returns a trailing error that the
+// statement context discards, and is not on the exclusion list.
+func dropsError(pass *Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion, not a call
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	last := tv.Type
+	if tuple, ok := last.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		last = tuple.At(tuple.Len() - 1).Type()
+	}
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	return !excludedCallee(pass, call)
+}
+
+// excludedCallee implements the fixed exclusion list: fmt's Print family
+// and the never-failing in-memory writers.
+func excludedCallee(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Pkg() != nil {
+					switch tn.Pkg().Path() + "." + tn.Name() {
+					case "bytes.Buffer", "strings.Builder":
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeName renders the callee for the diagnostic message.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return "(...)." + fun.Sel.Name
+	}
+	return "call"
+}

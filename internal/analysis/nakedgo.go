@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedGo enforces the repo's goroutine-ownership rule: all compute
+// parallelism goes through the internal/par worker pool, which owns
+// spawning, parking and shutdown (DESIGN.md §6). A `go` statement anywhere
+// else is either compute work that bypasses the pool — losing the
+// amortized team and the pool's metrics — or an unmanaged lifecycle
+// goroutine that needs an explicit //fdiamlint:ignore justification.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc: "flag go statements outside internal/par; compute parallelism " +
+		"must use the par worker pool, lifecycle goroutines must carry an " +
+		"//fdiamlint:ignore nakedgo justification",
+	Run: runNakedGo,
+}
+
+func runNakedGo(pass *Pass) error {
+	if path := pass.Pkg.Path(); path == "fdiam/internal/par" || strings.HasSuffix(path, "/internal/par") {
+		return nil // the pool implementation is the one legitimate spawner
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"naked go statement outside internal/par; route compute work through the par pool or justify with //fdiamlint:ignore nakedgo <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"fdiam/internal/analysis"
+	"fdiam/internal/analysis/analysistest"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, analysis.NakedGo, "nakedgo", "example.com/nakedgo")
+}
+
+// TestNakedGoExemptsPar type-checks the same kind of code under the
+// internal/par import path, where spawning is the package's job.
+func TestNakedGoExemptsPar(t *testing.T) {
+	analysistest.Run(t, analysis.NakedGo, "nakedgo_par", "fdiam/internal/par")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicField, "atomicfield", "example.com/atomicfield")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc", "example.com/hotalloc")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop, "errdrop", "example.com/errdrop")
+}
+
+// TestAllStableOrder pins the suite composition: the vettool's -V=full
+// version string and CI logs both assume this order.
+func TestAllStableOrder(t *testing.T) {
+	want := []string{"nakedgo", "atomicfield", "hotalloc", "errdrop"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+	}
+}
+
+// TestSuppressorRequiresReason checks the directive grammar directly: a
+// reasonless ignore must stay inert, a reasoned one must cover its own
+// line and the next.
+func TestSuppressorRequiresReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	//fdiamlint:ignore nakedgo justified because this is a test
+	a := 1
+	//fdiamlint:ignore nakedgo
+	b := 2
+	_, _ = a, b
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := analysis.NewSuppressor(fset, []*ast.File{f})
+	// Line 5 (a := 1) is under a reasoned directive on line 4.
+	reasoned := posOnLine(fset, f, 5)
+	if !sup.Suppressed("nakedgo", fset, reasoned) {
+		t.Errorf("reasoned directive did not suppress the next line")
+	}
+	if sup.Suppressed("errdrop", fset, reasoned) {
+		t.Errorf("directive suppressed a different analyzer")
+	}
+	// Line 7 (b := 2) follows a reasonless directive, which must be inert.
+	if bare := posOnLine(fset, f, 7); sup.Suppressed("nakedgo", fset, bare) {
+		t.Errorf("reasonless directive suppressed a diagnostic")
+	}
+}
+
+// posOnLine returns a token.Pos on the given 1-based line of f's file.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}

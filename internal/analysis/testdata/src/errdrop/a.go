@@ -1,0 +1,36 @@
+// Package errdrop is the golden fixture for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error           { return errors.New("x") }
+func multi() (int, error)    { return 0, nil }
+func clean()                 {}
+func errFirst() (error, int) { return nil, 0 } // error not trailing: ignored
+
+func bad() {
+	fails()        // want `fails discards its error result`
+	multi()        // want `multi discards its error result`
+	go fails()     // want `fails discards its error result`
+	os.Remove("x") // want `os.Remove discards its error result`
+}
+
+func good(f *os.File) {
+	_ = fails()
+	clean()
+	errFirst()
+	defer f.Close()
+	fmt.Println("ok")
+	var sb strings.Builder
+	sb.WriteString("ok")
+	if err := fails(); err != nil {
+		_ = err
+	}
+	//fdiamlint:ignore errdrop best-effort cleanup, justified for the fixture
+	os.Remove("x")
+}

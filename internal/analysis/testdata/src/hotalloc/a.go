@@ -1,0 +1,47 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+package hotalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+var (
+	sink []int
+	when time.Time
+	text string
+)
+
+//fdiam:hotpath
+func hot(buf []int) []int {
+	buf = append(buf, 1) // reuse idiom: allowed
+	s := make([]int, 8)  // want `make in //fdiam:hotpath`
+	t := append(s, 2)    // want `append in //fdiam:hotpath`
+	_ = t
+	when = time.Now()                  // want `time.Now in //fdiam:hotpath`
+	text = fmt.Sprintf("%d", len(buf)) // want `fmt.Sprintf in //fdiam:hotpath`
+	return buf
+}
+
+//fdiam:hotpath
+func hotClosure() {
+	f := func() {
+		sink = make([]int, 1) // want `make in //fdiam:hotpath`
+	}
+	f()
+}
+
+//fdiam:hotpath
+func hotGrow(buf []int, n int) []int {
+	if cap(buf) < n {
+		//fdiamlint:ignore hotalloc grow-once buffer, amortized over the run
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+func cold() {
+	sink = make([]int, 8)
+	when = time.Now()
+	text = fmt.Sprintf("%v", when)
+}

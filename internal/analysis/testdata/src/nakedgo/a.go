@@ -1,0 +1,22 @@
+// Package nakedgo is the golden fixture for the nakedgo analyzer.
+package nakedgo
+
+import "sync"
+
+func spawn() {
+	go work() // want `naked go statement outside internal/par`
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `naked go statement outside internal/par`
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	//fdiamlint:ignore nakedgo lifecycle goroutine, justified for the fixture
+	go work()
+
+	//fdiamlint:ignore nakedgo
+	go work() // want `naked go statement outside internal/par`
+}
+
+func work() {}

@@ -433,6 +433,8 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 // frontierArcs sums the outgoing-arc counts of the current frontier. Only
 // called on levels where the nf·maxDeg gate says a direction switch is
 // possible, so its O(nf) cost never touches the common top-down path.
+//
+//fdiam:hotpath
 func (e *Engine) frontierArcs() int64 {
 	offsets := e.g.Offsets()
 	var mf int64
@@ -448,6 +450,8 @@ func (e *Engine) frontierArcs() int64 {
 // spills that keeping cnt/epoch/out live across the append would force.
 // The common skip-free case gets its own loop so full traversals carry no
 // per-edge nil check at all.
+//
+//fdiam:hotpath
 func (e *Engine) topDownSerial(skip func(graph.Vertex) bool) {
 	offsets, targets := e.g.Offsets(), e.g.Targets()
 	if skip == nil {
@@ -477,6 +481,8 @@ func (e *Engine) topDownSerial(skip func(graph.Vertex) bool) {
 // topDownParallel expands wl1 into wl2 using CAS claims and per-worker
 // output buffers that are concatenated after the barrier, which avoids a
 // contended shared append (the OpenMP code's atomic worklist insert).
+//
+//fdiam:hotpath
 func (e *Engine) topDownParallel(workers int, skip func(graph.Vertex) bool) {
 	offsets, targets := e.g.Offsets(), e.g.Targets()
 	for w := 0; w < workers; w++ {
@@ -537,6 +543,8 @@ func (e *Engine) bottomUpStep(workers int, reuseCands bool) bool {
 // scan it pays anyway; each following level then iterates the shrinking
 // remainder instead of all of n, which on the soc/kron stand-ins cuts the
 // second bottom-up level's scan by 4–10×.
+//
+//fdiam:hotpath
 func (e *Engine) bottomUpSerial(reuseCands bool) {
 	offsets, targets := e.g.Offsets(), e.g.Targets()
 	if reuseCands {
@@ -592,6 +600,8 @@ func (e *Engine) bottomUpSerial(reuseCands bool) {
 // therefore tested against a dedicated bitset snapshot of wl1, which is
 // also what keeps the probe's working set dense (n/8 bytes) when the scan
 // is spread over cores.
+//
+//fdiam:hotpath
 func (e *Engine) bottomUpParallel(workers int) {
 	offsets, targets := e.g.Offsets(), e.g.Targets()
 	n := e.g.NumVertices()
@@ -640,6 +650,8 @@ func (e *Engine) bottomUpParallel(workers int) {
 // frontiers are concatenated in parallel: each worker copies its buffer
 // into a precomputed slot, so the post-barrier merge is no longer a serial
 // O(frontier) append chain.
+//
+//fdiam:hotpath
 func (e *Engine) concatFrontier(workers int) {
 	total := 0
 	for w := 0; w < workers; w++ {
@@ -650,6 +662,7 @@ func (e *Engine) concatFrontier(workers int) {
 	}
 	if workers > 1 && total >= 1<<15 {
 		if cap(e.catOffs) < workers+1 {
+			//fdiamlint:ignore hotalloc grow-once offset table, reused across levels once capacity suffices
 			e.catOffs = make([]int, workers+1)
 		}
 		offs := e.catOffs[:workers+1]
@@ -658,6 +671,7 @@ func (e *Engine) concatFrontier(workers int) {
 			offs[w+1] = offs[w] + len(e.bufs[w])
 		}
 		if cap(e.wl2) < total {
+			//fdiamlint:ignore hotalloc grow-once frontier buffer, reused across levels once capacity suffices
 			e.wl2 = make([]graph.Vertex, total)
 		}
 		e.wl2 = e.wl2[:total]

@@ -89,6 +89,9 @@ func (s *solver) chains() {
 		// Keep the anchor under consideration (Algorithm 4 line 9).
 		s.reactivate(x)
 	}
+	if checkedBuild {
+		s.checkStateConsistency("chains")
+	}
 	s.stats.TimeChain += time.Since(t0)
 	if tr != nil {
 		tr.End("stage", "chain", obs.I("removed_total", s.stats.RemovedChain))

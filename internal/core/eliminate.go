@@ -29,16 +29,26 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 		return
 	}
 	s.stats.EliminateCalls++
+	var checkDist []int32
+	if checkedBuild {
+		checkDist = s.checkEliminatePre(seeds, startVal, limit, attr)
+	}
 	tr := s.opt.Trace
 	if tr != nil {
 		tr.Begin("stage", "eliminate",
 			obs.I("seeds", int64(len(seeds))), obs.I("radius", int64(limit-startVal)))
 	}
 	s.e.Partial(seeds, limit-startVal, false, nil, func(level int32, frontier []graph.Vertex) {
+		if checkedBuild {
+			s.checkEliminateLevel(checkDist, level, frontier, startVal, limit)
+		}
 		val := startVal + level
 		for _, v := range frontier {
 			switch cur := s.ecc[v]; {
 			case cur == Active:
+				if checkedBuild {
+					s.checkRecord(v, cur, val)
+				}
 				s.ecc[v] = val
 				s.stage[v] = attr
 				switch attr {
@@ -48,6 +58,9 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 					s.stats.RemovedEliminate++
 				}
 			case cur != Winnowed && val < cur:
+				if checkedBuild {
+					s.checkRecord(v, cur, val)
+				}
 				s.ecc[v] = val
 			}
 		}

@@ -259,6 +259,10 @@ func (s *solver) run() Result {
 		tr.End("stage", "main-loop", obs.I("computed", s.stats.Computed))
 	}
 
+	if checkedBuild {
+		s.checkStateConsistency("final")
+		s.checkFinal(infinite, timedOut)
+	}
 	s.stats.DirSwitches = s.e.DirectionSwitches()
 	s.stats.TimeTotal = time.Since(tStart)
 	return Result{
@@ -289,6 +293,9 @@ func (s *solver) observeProgress() {
 // setComputed records an exactly computed eccentricity, which also removes
 // the vertex from consideration (any write below Active does, per §4).
 func (s *solver) setComputed(v graph.Vertex, ecc int32) {
+	if checkedBuild {
+		s.checkComputeTarget(v)
+	}
 	s.ecc[v] = ecc
 	s.stage[v] = StageComputed
 	s.stats.Computed++

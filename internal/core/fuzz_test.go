@@ -20,8 +20,11 @@ func graphFromBytes(data []byte) *graph.Graph {
 }
 
 // FuzzDiameterMatchesNaive cross-checks F-Diam (all feature combinations)
-// against the brute-force diameter on fuzzer-generated topologies. Run the
-// corpus as part of `go test`; explore with `go test -fuzz=FuzzDiameter`.
+// against the brute-force diameter on fuzzer-generated topologies, and
+// validates the returned witness pair actually realizes the diameter. Run
+// the corpus as part of `go test`; explore with `go test -fuzz=FuzzDiameter`
+// — with `-tags fdiam.checked` every exploration also runs the full
+// invariant assertions and the baseline differential on each input.
 func FuzzDiameterMatchesNaive(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 1, 2, 2, 3})
@@ -29,6 +32,10 @@ func FuzzDiameterMatchesNaive(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // matching (disconnected)
 	f.Add([]byte{0, 1, 1, 2, 2, 0, 3, 4})       // triangle + edge
 	f.Add([]byte{5, 6, 6, 7, 7, 8, 8, 5, 5, 9, 9, 10, 10, 11})
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 0}) // 8-cycle
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 5, 6, 6, 7})       // star + chain
+	f.Add([]byte{1, 0, 2, 1, 3, 2, 4, 3, 5, 4, 6, 5, 7, 6, 8, 7}) // long path
+	f.Add([]byte{0, 1, 2, 3, 1, 2, 4, 5, 3, 4, 6, 7, 5, 6})       // two components
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 512 {
 			return
@@ -41,12 +48,24 @@ func FuzzDiameterMatchesNaive(f *testing.F) {
 			{DisableWinnow: true},
 			{DisableEliminate: true},
 			{DisableChain: true},
+			{DisableWinnow: true, DisableEliminate: true, DisableChain: true},
 			{StartAtVertexZero: true},
 		} {
 			got := Diameter(g, opt)
 			if got.Diameter != want {
 				t.Fatalf("opt %+v: diameter %d, want %d (edges %v)",
 					opt, got.Diameter, want, g.Edges())
+			}
+			// The witness pair must realize the reported diameter: the two
+			// endpoints come from a BFS source and its last frontier, so
+			// they always share a component even on disconnected inputs.
+			if got.WitnessA != graph.NoVertex && got.WitnessB != graph.NoVertex {
+				if d := refDist(g, got.WitnessA)[got.WitnessB]; d != got.Diameter {
+					t.Fatalf("opt %+v: witness pair (%d,%d) is %d apart, diameter %d",
+						opt, got.WitnessA, got.WitnessB, d, got.Diameter)
+				}
+			} else if g.NumEdges() > 0 {
+				t.Fatalf("opt %+v: no witness pair on a graph with edges", opt)
 			}
 		}
 	})

@@ -122,6 +122,8 @@ func TestEliminateMarksBallWithValidBounds(t *testing.T) {
 		bound := trueEcc[src] + 3 // pretend the diameter bound is 3 above
 
 		s := prepSolver(g, Options{Workers: 1})
+		s.bound = bound
+		s.setComputed(src, trueEcc[src])
 		s.eliminateFrom([]graph.Vertex{src}, trueEcc[src], bound, StageEliminate)
 
 		dist := refDist(g, src)
@@ -153,6 +155,10 @@ func TestEliminateMarksBallWithValidBounds(t *testing.T) {
 func TestEliminateKeepsTighterBound(t *testing.T) {
 	g := gen.Path(10)
 	s := prepSolver(g, Options{Workers: 1})
+	s.bound = 9
+	// The seed carries a recorded upper bound, as after a real evaluation.
+	s.ecc[4] = 4
+	s.stage[4] = StageEliminate
 	// First eliminate records value 5 at distance-1 neighbors of 4.
 	s.eliminateFrom([]graph.Vertex{4}, 4, 5, StageEliminate)
 	if s.ecc[5] != 5 || s.ecc[3] != 5 {
@@ -163,7 +169,9 @@ func TestEliminateKeepsTighterBound(t *testing.T) {
 	if s.ecc[5] != 5 {
 		t.Fatalf("looser bound overwrote tighter: %d", s.ecc[5])
 	}
-	// A tighter pass must overwrite.
+	// A tighter pass (the seed's own bound was re-recorded lower) must
+	// overwrite.
+	s.ecc[4] = 2
 	s.eliminateFrom([]graph.Vertex{4}, 2, 4, StageEliminate)
 	if s.ecc[5] != 3 {
 		t.Fatalf("tighter bound not recorded: %d", s.ecc[5])
@@ -254,6 +262,8 @@ func TestExtendEliminatedGrowsRegions(t *testing.T) {
 	// bound must extend the region from its outermost ring only.
 	g := gen.Path(21)
 	s := prepSolver(g, Options{Workers: 1})
+	s.bound = 10
+	s.setComputed(10, 8)
 	s.eliminateFrom([]graph.Vertex{10}, 8, 10, StageEliminate) // removes 8..12 except 10 (radius 2)
 	if s.ecc[8] != 10 || s.ecc[12] != 10 || s.ecc[7] != Active {
 		t.Fatalf("setup wrong: %v", s.ecc[5:16])

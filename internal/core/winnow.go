@@ -62,6 +62,10 @@ func (s *solver) winnow() {
 	// becomes non-nil here, which is what marks the first call as done.
 	s.winnowFrontier = append(s.winnowFrontier[:0], s.e.LastFrontier()...)
 	s.winnowDepth = depth
+	if checkedBuild {
+		s.checkWinnowBall()
+		s.checkStateConsistency("winnow")
+	}
 	s.stats.TimeWinnow += time.Since(t0)
 	if tr != nil {
 		tr.End("stage", "winnow", obs.I("removed_total", s.stats.RemovedWinnow))
@@ -73,6 +77,8 @@ func (s *solver) winnow() {
 // already carry information (a computed eccentricity or an Eliminate upper
 // bound) keep it — they are removed either way, and the recorded value may
 // still seed a later region extension.
+//
+//fdiam:hotpath
 func (s *solver) markWinnowed(frontier []graph.Vertex, workers int) {
 	if workers > 1 && len(frontier) >= 4096 {
 		var removed int64

@@ -11,7 +11,8 @@ import (
 func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WriteText(w)
+		// A failed response write has no recovery path in a handler.
+		_ = reg.WriteText(w)
 	})
 }
 
@@ -21,11 +22,11 @@ func ProgressHandler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	r := Current()
 	if r == nil {
-		w.Write([]byte("{\"state\":\"idle\"}\n"))
+		_, _ = w.Write([]byte("{\"state\":\"idle\"}\n"))
 		return
 	}
 	enc := json.NewEncoder(w)
-	enc.Encode(r.Snapshot())
+	_ = enc.Encode(r.Snapshot())
 }
 
 // NewMux builds the introspection mux: /metrics (Prometheus text),
@@ -62,7 +63,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
-	go s.srv.Serve(ln)
+	// Serve returns http.ErrServerClosed once Close shuts the server down.
+	//fdiamlint:ignore nakedgo server lifecycle goroutine owned by Server, stopped via Close
+	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 

@@ -70,21 +70,22 @@ func (t *ChromeTracer) Emit(e Event) {
 	if err != nil {
 		return // unreachable: chromeEvent marshals by construction
 	}
+	// bufio errors are sticky; Close surfaces them via Flush.
 	if t.n == 0 {
-		t.w.WriteString("[\n")
+		_, _ = t.w.WriteString("[\n")
 	} else {
-		t.w.WriteString(",\n")
+		_, _ = t.w.WriteString(",\n")
 	}
 	t.n++
-	t.w.Write(b)
+	_, _ = t.w.Write(b)
 }
 
 // Close terminates the JSON array and flushes.
 func (t *ChromeTracer) Close() error {
 	if t.n == 0 {
-		t.w.WriteString("[")
+		_, _ = t.w.WriteString("[")
 	}
-	t.w.WriteString("\n]\n")
+	_, _ = t.w.WriteString("\n]\n")
 	return t.w.Flush()
 }
 
@@ -132,8 +133,9 @@ func (t *NDJSONTracer) Emit(e Event) {
 	if err != nil {
 		return // unreachable
 	}
-	t.w.Write(b)
-	t.w.WriteByte('\n')
+	// bufio errors are sticky; Close surfaces them via Flush.
+	_, _ = t.w.Write(b)
+	_ = t.w.WriteByte('\n')
 }
 
 // Close flushes the buffered lines.

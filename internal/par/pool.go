@@ -44,8 +44,8 @@ type poolJob struct {
 	max      int32 // participant limit (the requested worker count)
 	body     func(worker, lo, hi int)
 	cursor   int64 // atomic chunk cursor
-	joined   int32 // participant ids handed out (caller holds id 0)
-	acks     int32 // parked workers yet to acknowledge this job
+	joined   int32 // atomic participant-id counter (caller holds id 0)
+	acks     int32 // atomic count of parked workers yet to acknowledge
 	done     chan struct{}
 }
 
@@ -179,6 +179,8 @@ func (p *Pool) workerLoop(seen uint64) {
 }
 
 // runChunks drains the job's chunk cursor as the given participant.
+//
+//fdiam:hotpath
 func runChunks(j *poolJob, id int) {
 	for {
 		lo := int(atomic.AddInt64(&j.cursor, int64(j.chunk))) - j.chunk
