@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test race lint checked fuzz-smoke fmt clean
+.PHONY: all build test race lint checked fuzz-smoke serve fmt clean
 
 all: build test
 
@@ -31,6 +31,13 @@ fuzz-smoke:
 	$(GO) test -tags fdiam.checked -fuzz=FuzzDiameterMatchesNaive -fuzztime=15s -run='^$$' ./internal/core/
 	$(GO) test -fuzz=FuzzReadAuto -fuzztime=15s -run='^$$' ./internal/graphio/
 	$(GO) test -fuzz=FuzzReadMETIS -fuzztime=15s -run='^$$' ./internal/graphio/
+
+# serve builds and starts a local fdiamd on :8080. Ctrl-C (or SIGTERM)
+# drains gracefully: in-flight solves return their best lower bound first.
+serve:
+	mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/fdiamd ./cmd/fdiamd
+	$(BIN)/fdiamd -addr :8080
 
 fmt:
 	gofmt -l -w .

@@ -20,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -125,6 +127,12 @@ func run(args []string, out io.Writer) error {
 			s.AvgDegree, stats.FormatCount(int64(s.MaxDegree)), s.Components)
 	}
 
+	// Ctrl-C cancels the solver at the next BFS level boundary and reports
+	// the best lower bound found so far instead of killing the process; a
+	// second interrupt falls back to the default handler and kills it.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	start := time.Now()
 	switch *algo {
 	case "fdiam":
@@ -156,7 +164,7 @@ func run(args []string, out io.Writer) error {
 				defer stop()
 			}
 		}
-		res := core.Diameter(g, core.Options{
+		res := core.DiameterCtx(ctx, g, core.Options{
 			Workers:             *workers,
 			Timeout:             *timeout,
 			DisableWinnow:       *noWinnow,
@@ -176,9 +184,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if *jsonOut {
 			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
-				res.TimedOut, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
+				res.TimedOut, res.Cancelled, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
 		}
-		report(out, res.Diameter, res.Infinite, res.TimedOut, elapsed)
+		report(out, res.Diameter, res.Infinite, res.TimedOut, res.Cancelled, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: %s\n", res.Stats.String())
 		}
@@ -198,9 +206,9 @@ func run(args []string, out io.Writer) error {
 		elapsed := time.Since(start)
 		if *jsonOut {
 			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
-				res.TimedOut, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
+				res.TimedOut, false, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
 		}
-		report(out, res.Diameter, res.Infinite, res.TimedOut, elapsed)
+		report(out, res.Diameter, res.Infinite, res.TimedOut, false, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: bfs-traversals=%d\n", res.BFSTraversals)
 		}
@@ -219,6 +227,7 @@ type jsonResult struct {
 	Diameter      int32       `json:"diameter"`
 	Infinite      bool        `json:"infinite"`
 	TimedOut      bool        `json:"timed_out"`
+	Cancelled     bool        `json:"cancelled"`
 	WitnessA      int64       `json:"witness_a"`
 	WitnessB      int64       `json:"witness_b"`
 	ElapsedNS     int64       `json:"elapsed_ns"`
@@ -226,7 +235,7 @@ type jsonResult struct {
 	BFSTraversals int64       `json:"bfs_traversals,omitempty"` // baselines only
 }
 
-func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, timedOut bool,
+func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, timedOut, cancelled bool,
 	witnessA, witnessB uint32, elapsed time.Duration, st *core.Stats, baselineBFS int64) error {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
@@ -241,6 +250,7 @@ func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, 
 		Diameter:      diameter,
 		Infinite:      infinite,
 		TimedOut:      timedOut,
+		Cancelled:     cancelled,
 		WitnessA:      witness(witnessA),
 		WitnessB:      witness(witnessB),
 		ElapsedNS:     elapsed.Nanoseconds(),
@@ -249,10 +259,12 @@ func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, 
 	})
 }
 
-func report(out io.Writer, diameter int32, infinite, timedOut bool, elapsed time.Duration) {
+func report(out io.Writer, diameter int32, infinite, timedOut, cancelled bool, elapsed time.Duration) {
 	switch {
 	case timedOut:
 		fmt.Fprintf(out, "TIMEOUT after %s (best lower bound: %d)\n", elapsed.Round(time.Millisecond), diameter)
+	case cancelled:
+		fmt.Fprintf(out, "CANCELLED after %s (best lower bound: %d)\n", elapsed.Round(time.Millisecond), diameter)
 	case infinite:
 		fmt.Fprintf(out, "diameter: infinite (disconnected); largest CC eccentricity: %d  [%s]\n",
 			diameter, elapsed.Round(time.Microsecond))

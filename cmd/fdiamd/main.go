@@ -1,0 +1,123 @@
+// Command fdiamd serves exact diameter computation over HTTP.
+//
+// Usage:
+//
+//	fdiamd [flags]
+//
+// Endpoints:
+//
+//	POST /diameter          solve the graph file in the request body
+//	POST /diameter?path=f   solve a pre-staged file from the -graphs dir
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text format (fdiamd_* + solver)
+//	GET  /progress          live snapshot of the current run
+//	GET  /debug/pprof/      standard profiling tree
+//
+// The `timeout` query parameter (a Go duration, e.g. ?timeout=30s) bounds
+// one solve; a timed-out solve responds 200 with "timed_out": true and the
+// best lower bound found. SIGINT/SIGTERM drain gracefully: in-flight
+// solves are cancelled at their next BFS level boundary and their partial
+// bounds are still written before the process exits.
+//
+// Examples:
+//
+//	fdiamd -addr :8080
+//	fdiamd -addr :8080 -graphs /data/graphs -max-concurrent 4 -max-timeout 2.5h
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fdiam/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fdiamd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body: it serves until ctx is cancelled, then
+// drains and returns.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fdiamd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	graphs := fs.String("graphs", "", "directory of pre-staged graph files for ?path= requests (empty = uploads only)")
+	workers := fs.Int("workers", 0, "parallel workers per solve (0 = all CPUs)")
+	maxConcurrent := fs.Int("max-concurrent", 2, "solves running simultaneously")
+	maxQueue := fs.Int("max-queue", 8, "solves waiting beyond the running ones before 429")
+	cacheBytes := fs.Int64("graph-cache-bytes", 1<<30, "parsed-graph LRU budget in bytes")
+	resultCache := fs.Int("result-cache", 4096, "finished-result LRU entries")
+	defTimeout := fs.Duration("default-timeout", 0, "timeout applied when a request sends none (0 = unbounded)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-request timeouts (0 = no cap)")
+	maxUpload := fs.Int64("max-upload-bytes", 1<<30, "request body size limit")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (fdiamd takes only flags, see -h)", fs.Args())
+	}
+
+	api, err := serve.New(serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		GraphCacheBytes: *cacheBytes,
+		ResultCacheSize: *resultCache,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxUploadBytes:  *maxUpload,
+		GraphDir:        *graphs,
+		Workers:         *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: api}
+	errc := make(chan error, 1)
+	// Serve returns http.ErrServerClosed after the Shutdown below; any
+	// other error (listener died) aborts the daemon.
+	//fdiamlint:ignore nakedgo http.Server accept-loop goroutine, joined via errc on shutdown
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "fdiamd: listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "fdiamd: draining (cancelling in-flight solves, up to %s)\n", *drain)
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Order matters: api.Shutdown cancels the solver contexts so the
+	// handlers finish writing partial results, after which the HTTP
+	// shutdown has no long-running connections left to wait for.
+	if err := api.Shutdown(sdCtx); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // reap the accept loop's ErrServerClosed
+	fmt.Fprintln(out, "fdiamd: stopped")
+	return nil
+}

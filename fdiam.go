@@ -29,6 +29,7 @@ package fdiam
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 
@@ -126,6 +127,16 @@ func Diameter(g *Graph) Result { return core.Diameter(g, core.Options{}) }
 // DiameterWithOptions computes the exact diameter with explicit options
 // (serial mode, ablations, worker count, timeout).
 func DiameterWithOptions(g *Graph, opt Options) Result { return core.Diameter(g, opt) }
+
+// DiameterCtx computes the exact diameter under a context: cancelling ctx
+// (or exceeding Options.Timeout) aborts the computation at the next BFS
+// level boundary and returns the best lower bound established so far with
+// Result.Cancelled (and, for deadlines, Result.TimedOut) set. This is the
+// entry point for deadline-bound callers — interactive tools and serving
+// layers that must not overshoot a request budget.
+func DiameterCtx(ctx context.Context, g *Graph, opt Options) Result {
+	return core.DiameterCtx(ctx, g, opt)
+}
 
 // Eccentricities computes the exact eccentricity of every vertex by brute
 // force (one BFS per vertex, parallelized over sources). O(nm): intended

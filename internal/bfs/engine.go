@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"fdiam/internal/bitset"
@@ -70,6 +71,16 @@ type Engine struct {
 
 	// dirOpt enables the direction-optimized hybrid for full traversals.
 	dirOpt bool
+
+	// cancel, when non-nil, is polled once per completed level: a true
+	// load aborts the traversal between levels. Level granularity keeps
+	// the per-edge kernels free of any cancellation overhead while
+	// bounding the overshoot past a deadline to one BFS level. aborted
+	// records whether the most recent traversal was cut short, in which
+	// case its return value is only a lower bound on the true level count
+	// and Reached undercounts.
+	cancel  *atomic.Bool
+	aborted bool
 
 	// trace receives structured traversal/level events; nil (the default)
 	// disables tracing at the cost of one pointer compare per level. The
@@ -182,6 +193,19 @@ func (e *Engine) SetAlphaBeta(alpha, beta int) {
 // kernel chosen, frontier size, frontier arc count, and unvisited
 // remainder. nil detaches (the default); the nil path is allocation-free.
 func (e *Engine) SetTracer(r *obs.Run) { e.trace = r }
+
+// SetCancel installs a cancellation flag shared with the caller: every
+// traversal loads it once per level and aborts between levels once it
+// reads true. nil (the default) removes the check entirely. The flag is
+// load-only from the engine's side; the owner stores true to cancel (e.g.
+// from a context.AfterFunc when a context is done).
+func (e *Engine) SetCancel(flag *atomic.Bool) { e.cancel = flag }
+
+// Aborted reports whether the most recent traversal was cut short by the
+// cancellation flag. An aborted traversal's level count is a valid lower
+// bound on the true eccentricity/level count (levels completed so far),
+// but must not be recorded as an exact value.
+func (e *Engine) Aborted() bool { return e.aborted }
 
 // SetSerialCutoff overrides the frontier size below which parallel
 // traversals expand serially (default 1024).
@@ -332,6 +356,7 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 	tr.TraversalStart(kind, len(seeds))
 	e.marks.Next()
 	e.lastSwitches = 0
+	e.aborted = false
 	n := e.g.NumVertices()
 	e.wl1 = e.wl1[:0]
 	for _, s := range seeds {
@@ -358,6 +383,13 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 	var level int32
 	for len(e.wl1) > 0 && unvisited > 0 {
 		if maxLevels >= 0 && level >= maxLevels {
+			break
+		}
+		// One atomic load per level: abort between levels so every level
+		// reported so far stays exact and the hot kernels carry no
+		// cancellation overhead.
+		if e.cancel != nil && e.cancel.Load() {
+			e.aborted = true
 			break
 		}
 		nf := len(e.wl1)

@@ -1,0 +1,53 @@
+//go:build fdiam.checked
+
+package core
+
+// Checked-build cancellation coverage: a cancelled run must leave the
+// per-vertex state arrays and the Stats accounting mutually consistent no
+// matter where the abort lands. finish() runs checkStateConsistency (and
+// skips only the differential oracle) even when cancelled, so any
+// attribution drift on an abort path panics with an InvariantViolation
+// here instead of surfacing as a subtly wrong Table 4 row.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fdiam/internal/gen"
+)
+
+// TestCheckedCancelledStateConsistency sweeps the cancellation point across
+// the whole pipeline (2-sweep, Winnow, Chain, main loop) by cancelling
+// after geometrically growing delays. Every run re-enters the checked
+// assertions in finish(); the test only has to not panic.
+func TestCheckedCancelledStateConsistency(t *testing.T) {
+	g := gen.RMAT(12, 8, gen.DefaultRMAT, 7)
+	sawCancelled := false
+	for delay := 50 * time.Microsecond; delay < 20*time.Millisecond; delay *= 2 {
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		res := DiameterCtx(ctx, g, Options{Workers: 1})
+		cancel()
+		if res.Cancelled {
+			sawCancelled = true
+			checkCancelledStats(t, g, res)
+		}
+	}
+	if !sawCancelled {
+		t.Skip("no delay was short enough to cancel the run; nothing exercised")
+	}
+}
+
+// TestCheckedPreCancelledStateConsistency pins the earliest abort point:
+// not a single traversal level completed, yet the state arrays must still
+// satisfy every encoding and accounting invariant.
+func TestCheckedPreCancelledStateConsistency(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := DiameterCtx(ctx, g, Options{Workers: 1})
+	if !res.Cancelled {
+		t.Fatal("pre-cancelled context: Cancelled not set")
+	}
+	checkCancelledStats(t, g, res)
+}

@@ -1,0 +1,157 @@
+package core
+
+// Cancellation tests: DiameterCtx must honor context cancellation *inside*
+// stages (mid-traversal, mid-Winnow, mid-Chain), not just between main-loop
+// BFS calls — the regression the old polled Options.Timeout had.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+)
+
+func TestDiameterCtxPreCancelled(t *testing.T) {
+	g := gen.Grid2D(50, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := DiameterCtx(ctx, g, Options{Workers: 1})
+	if !res.Cancelled {
+		t.Fatal("pre-cancelled context: Cancelled not set")
+	}
+	if res.TimedOut {
+		t.Fatal("pre-cancelled context (no deadline): TimedOut should be false")
+	}
+	// No traversal completed a single level, so the only valid lower
+	// bound is 0 and at most one aborted BFS was issued.
+	if res.Diameter != 0 {
+		t.Fatalf("pre-cancelled run reported diameter %d, want 0", res.Diameter)
+	}
+	if res.Stats.Computed != 0 {
+		t.Fatalf("pre-cancelled run recorded %d exact eccentricities", res.Stats.Computed)
+	}
+}
+
+func TestDiameterCtxCancelReturnsLowerBound(t *testing.T) {
+	// Path graph: the 2-sweep alone is two n-level traversals, so a
+	// cancellation during it must still yield a sound partial bound.
+	n := 20000
+	g := gen.Path(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- DiameterCtx(ctx, g, Options{Workers: 1}) }()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	res := <-done
+	if res.Cancelled {
+		// The run was actually cut short: whatever bound it reports must
+		// be a genuine lower bound witnessed by a vertex pair.
+		if res.Diameter > int32(n-1) {
+			t.Fatalf("cancelled run reported bound %d beyond the true diameter %d", res.Diameter, n-1)
+		}
+		if res.WitnessA != graph.NoVertex && res.WitnessB != graph.NoVertex {
+			d := bfsDistance(g, graph.Vertex(res.WitnessA), graph.Vertex(res.WitnessB))
+			if d != res.Diameter {
+				t.Fatalf("witness pair (%d,%d) at distance %d does not realize bound %d",
+					res.WitnessA, res.WitnessB, d, res.Diameter)
+			}
+		}
+	} else if res.Diameter != int32(n-1) {
+		// Raced to completion before the cancel landed.
+		t.Fatalf("completed run reported %d, want %d", res.Diameter, n-1)
+	}
+}
+
+// TestTimeoutAbortsInsideStages is the regression test for the polled
+// implementation: a tiny timeout on a large path graph must abort inside
+// the 2-sweep — the old code checked the deadline only between main-loop
+// BFS calls and ran the 2-sweep, Winnow and Chain Processing to completion
+// first, overshooting the deadline by the full stage cost.
+func TestTimeoutAbortsInsideStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a multi-million-vertex graph")
+	}
+	n := 1 << 21 // 2M vertices: one BFS alone is n levels on a path
+	g := gen.Path(n)
+	start := time.Now()
+	res := Diameter(g, Options{Workers: 1, Timeout: time.Millisecond})
+	elapsed := time.Since(start)
+	if !res.TimedOut || !res.Cancelled {
+		t.Fatalf("timeout run: TimedOut=%v Cancelled=%v, want both true (elapsed %v)",
+			res.TimedOut, res.Cancelled, elapsed)
+	}
+	// The per-level check bounds the overshoot to one BFS level. Allow
+	// generous CI slack: the old polled implementation finished the whole
+	// 2-sweep (seconds), while one path level is microseconds.
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout run took %v; deadline not enforced inside stages", elapsed)
+	}
+	// The aborted run must not have computed any exact eccentricity of
+	// the 2-sweep to completion.
+	if res.Stats.Computed > 2 {
+		t.Fatalf("timed-out run computed %d exact eccentricities", res.Stats.Computed)
+	}
+	// The decisive discriminator against the polled implementation: on a
+	// path the completed 2-sweep alone finds the exact diameter, so a
+	// bound of n-1 means the stages ran to completion despite the 1ms
+	// deadline. A mid-traversal abort necessarily reports less (one BFS
+	// level here is microseconds; a full sweep is hundreds of ms).
+	if res.Diameter >= int32(n-1) {
+		t.Fatalf("timed-out run reports the full diameter %d; the 2-sweep was not interrupted", res.Diameter)
+	}
+}
+
+func TestCancelMidRunFromAnotherGoroutine(t *testing.T) {
+	// Exercised under -race in CI: the cancel flag is the only shared
+	// state between the cancelling goroutine and the solver.
+	g := gen.RMAT(14, 8, gen.DefaultRMAT, 42)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan Result, 1)
+		go func() { done <- DiameterCtx(ctx, g, Options{Workers: workers}) }()
+		go func() {
+			time.Sleep(500 * time.Microsecond)
+			cancel()
+		}()
+		res := <-done
+		if res.Cancelled {
+			checkCancelledStats(t, g, res)
+		}
+		cancel()
+	}
+}
+
+// checkCancelledStats asserts the stats of a cancelled run stay mutually
+// consistent: every removal and computation is attributed, and nothing
+// exceeds the vertex count.
+func checkCancelledStats(t *testing.T, g *graph.Graph, res Result) {
+	t.Helper()
+	total := res.Stats.RemovedDegree0 + res.Stats.RemovedWinnow +
+		res.Stats.RemovedChain + res.Stats.RemovedEliminate + res.Stats.Computed
+	if total > int64(g.NumVertices()) {
+		t.Fatalf("cancelled run attributes %d removals on %d vertices", total, g.NumVertices())
+	}
+	if res.Stats.Vertices != g.NumVertices() {
+		t.Fatalf("stats vertices %d != %d", res.Stats.Vertices, g.NumVertices())
+	}
+}
+
+// TestTimeoutStillCompletesWhenAmple pins that a generous deadline does not
+// perturb the result.
+func TestTimeoutStillCompletesWhenAmple(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	res := Diameter(g, Options{Workers: 1, Timeout: time.Hour})
+	if res.Cancelled || res.TimedOut {
+		t.Fatalf("ample timeout: Cancelled=%v TimedOut=%v", res.Cancelled, res.TimedOut)
+	}
+	if res.Diameter != 78 {
+		t.Fatalf("diameter %d, want 78", res.Diameter)
+	}
+}
+
+func bfsDistance(g *graph.Graph, a, b graph.Vertex) int32 {
+	dist := refDist(g, a)
+	return dist[b]
+}

@@ -37,6 +37,9 @@ func (s *solver) chains() {
 	g := s.g
 	n := g.NumVertices()
 	for v := 0; v < n; v++ {
+		if s.cancelled() {
+			break
+		}
 		x := graph.Vertex(v)
 		if g.Degree(x) != 1 {
 			continue
@@ -69,14 +72,28 @@ func (s *solver) chains() {
 		// Eliminate everything within `length` steps of the chain end
 		// (Algorithm 4 line 8 uses the sentinel pair MAX−len, MAX).
 		// A hub with many degree-1 leaves would be re-eliminated once
-		// per leaf; since Eliminate is idempotent removal, repeats
-		// with a radius not exceeding an earlier one are skipped.
+		// per leaf; since Eliminate is idempotent removal, repeats with
+		// a radius not exceeding an earlier one are skipped outright,
+		// and a *longer* chain extends the ball incrementally from the
+		// saved outermost ring instead of re-traversing the interior
+		// (the same scheme extendEliminated uses for bound growth) —
+		// a hub with many leaves of increasing chain length would
+		// otherwise re-pay the whole smaller ball once per leaf.
 		if s.chainDone == nil {
 			s.chainDone = make(map[graph.Vertex]int32)
+			s.chainRing = make(map[graph.Vertex][]graph.Vertex)
 		}
-		if done, ok := s.chainDone[cur]; !ok || length > done {
-			s.chainDone[cur] = length
-			s.eliminateFrom([]graph.Vertex{cur}, chainMax-length, chainMax, StageChain)
+		done, seen := s.chainDone[cur]
+		switch {
+		case !seen:
+			ring, levels := s.eliminateFrom([]graph.Vertex{cur}, chainMax-length, chainMax, StageChain)
+			if s.cancelled() {
+				// A cancelled partial elimination applied only sound
+				// removals, but its ring/level bookkeeping is truncated;
+				// drop it and bail out (the caller returns immediately).
+				break
+			}
+			s.recordChainBall(cur, length, ring, levels == length)
 			// Algorithm 5 never marks its source; remove the chain
 			// end explicitly ("we can safely remove all y vertices
 			// that have a degree-1 neighbor").
@@ -85,6 +102,26 @@ func (s *solver) chains() {
 				s.stage[cur] = StageChain
 				s.stats.RemovedChain++
 			}
+		case length > done:
+			// Seeds sit at distance `done` from the hub; treating them
+			// as carrying the value (chainMax−length)+done makes the
+			// extension record exactly what a from-scratch elimination
+			// of radius `length` would have recorded on the new shells,
+			// with limit staying the chain sentinel MAX. An empty saved
+			// ring means the previous outermost level added no fresh
+			// removals; extension past it could only re-traverse
+			// already-removed territory, so it is skipped (removal is
+			// an optimization — skipping is always sound).
+			ring := s.chainRing[cur]
+			if len(ring) == 0 {
+				s.chainDone[cur] = length
+				break
+			}
+			newRing, levels := s.eliminateFrom(ring, chainMax-length+done, chainMax, StageChain)
+			if s.cancelled() {
+				break
+			}
+			s.recordChainBall(cur, length, newRing, levels == length-done)
 		}
 		// Keep the anchor under consideration (Algorithm 4 line 9).
 		s.reactivate(x)
@@ -97,4 +134,20 @@ func (s *solver) chains() {
 		tr.End("stage", "chain", obs.I("removed_total", s.stats.RemovedChain))
 		s.observeProgress()
 	}
+}
+
+// recordChainBall updates the per-hub extension bookkeeping after a chain
+// elimination around cur. complete means the partial BFS reached the full
+// authorized radius: the freshly removed outermost ring is saved as the
+// seed set for a later, longer chain's incremental extension. An
+// incomplete traversal exhausted everything reachable around the hub, so
+// no future chain can remove more — the sentinel blocks all extensions.
+func (s *solver) recordChainBall(cur graph.Vertex, length int32, ring []graph.Vertex, complete bool) {
+	if !complete {
+		s.chainDone[cur] = chainMax
+		delete(s.chainRing, cur)
+		return
+	}
+	s.chainDone[cur] = length
+	s.chainRing[cur] = ring
 }

@@ -1,0 +1,73 @@
+package core
+
+// Star-of-paths regression: a hub that is the chain end for many leaves of
+// increasing chain length used to be re-eliminated from scratch once per
+// leaf, re-traversing the entire smaller ball every time (Θ(P·n) frontier
+// work for P paths). The incremental ring extension must keep the total
+// eliminate work linear in the graph size.
+
+import (
+	"testing"
+
+	"fdiam/internal/graph"
+)
+
+// starOfPaths builds a hub (vertex 0) with P attached paths of lengths
+// 1..P, constructed so the degree-1 leaves appear in increasing-length
+// vertex order — the worst case for from-scratch re-elimination, because
+// every chain is longer than the previous one.
+func starOfPaths(p int) *graph.Graph {
+	b := graph.NewBuilder(1)
+	next := graph.Vertex(1)
+	for length := 1; length <= p; length++ {
+		prev := graph.Vertex(0)
+		for step := 0; step < length; step++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return b.Build()
+}
+
+func TestChainStarExtendsIncrementally(t *testing.T) {
+	const p = 50
+	g := starOfPaths(p)
+	n := int64(g.NumVertices()) // 1 + p(p+1)/2 = 1276
+
+	// Winnow and main-loop Eliminate are disabled so EliminateVisited
+	// counts exactly the Chain Processing ball work.
+	res := Diameter(g, Options{Workers: 1, DisableWinnow: true, DisableEliminate: true})
+	want := int32(2*p - 1) // the two longest paths end to end
+	if res.Diameter != want {
+		t.Fatalf("diameter %d, want %d", res.Diameter, want)
+	}
+
+	// Incremental extension visits each shell a bounded number of times
+	// (the new shell plus its two neighbors per extension). From-scratch
+	// re-elimination re-traverses the whole previous ball per leaf and
+	// lands around 17n frontier vertices for p=50; pin the linear bound.
+	if res.Stats.EliminateVisited > 4*n {
+		t.Fatalf("chain elimination visited %d frontier vertices on n=%d (> 4n); "+
+			"hub balls are being re-traversed from scratch", res.Stats.EliminateVisited, n)
+	}
+	t.Logf("n=%d eliminate-visited=%d (%.2fx n)", n, res.Stats.EliminateVisited,
+		float64(res.Stats.EliminateVisited)/float64(n))
+}
+
+// TestChainStarMatchesDefaultPipeline pins that the incremental path does
+// not change the answer under the full default pipeline either.
+func TestChainStarMatchesDefaultPipeline(t *testing.T) {
+	for _, p := range []int{3, 7, 20} {
+		g := starOfPaths(p)
+		want := int32(2*p - 1)
+		if p == 1 {
+			want = 1
+		}
+		for _, opt := range []Options{{}, {Workers: 1}, {Workers: 1, DisableWinnow: true}} {
+			if got := Diameter(g, opt).Diameter; got != want {
+				t.Fatalf("p=%d opts=%+v: diameter %d, want %d", p, opt, got, want)
+			}
+		}
+	}
+}

@@ -24,9 +24,16 @@ import (
 // Winnowed vertices are traversed but keep their sentinel, and exactly
 // computed eccentricities can never be "tightened" because every recorded
 // bound is ≥ the true eccentricity.
-func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr Stage) {
+//
+// Returns the vertices freshly removed at the deepest completed level —
+// the outermost ring of newly claimed territory, which Chain Processing
+// uses to extend a hub's ball incrementally — and the number of levels the
+// traversal completed. levels < limit−startVal means the partial BFS
+// exhausted everything reachable from the seed set (or was cancelled);
+// the returned ring slice is freshly allocated and owned by the caller.
+func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr Stage) (ring []graph.Vertex, levels int32) {
 	if startVal >= limit || len(seeds) == 0 {
-		return
+		return nil, 0
 	}
 	s.stats.EliminateCalls++
 	var checkDist []int32
@@ -38,10 +45,12 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 		tr.Begin("stage", "eliminate",
 			obs.I("seeds", int64(len(seeds))), obs.I("radius", int64(limit-startVal)))
 	}
-	s.e.Partial(seeds, limit-startVal, false, nil, func(level int32, frontier []graph.Vertex) {
+	levels = s.e.Partial(seeds, limit-startVal, false, nil, func(level int32, frontier []graph.Vertex) {
 		if checkedBuild {
 			s.checkEliminateLevel(checkDist, level, frontier, startVal, limit)
 		}
+		s.stats.EliminateVisited += int64(len(frontier))
+		ring = ring[:0]
 		val := startVal + level
 		for _, v := range frontier {
 			switch cur := s.ecc[v]; {
@@ -51,6 +60,7 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 				}
 				s.ecc[v] = val
 				s.stage[v] = attr
+				ring = append(ring, v)
 				switch attr {
 				case StageChain:
 					s.stats.RemovedChain++
@@ -66,8 +76,15 @@ func (s *solver) eliminateFrom(seeds []graph.Vertex, startVal, limit int32, attr
 		}
 	})
 	if tr != nil {
-		tr.End("stage", "eliminate", obs.I("removed_total", s.stats.RemovedEliminate))
+		// Report the counter matching the attribution, so chain removals
+		// show up as chain removals in Chrome traces and /progress.
+		removed := s.stats.RemovedEliminate
+		if attr == StageChain {
+			removed = s.stats.RemovedChain
+		}
+		tr.End("stage", "eliminate", obs.I("removed_total", removed))
 	}
+	return ring, levels
 }
 
 // extendEliminated grows all previously eliminated regions after the bound

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"time"
 
 	"fdiam/internal/bfs"
@@ -15,7 +18,39 @@ import (
 // holds the largest eccentricity over all connected components, matching
 // the paper's output convention.
 func Diameter(g *graph.Graph, opt Options) Result {
+	return DiameterCtx(context.Background(), g, opt)
+}
+
+// DiameterCtx is Diameter under a context: cancelling ctx (or exceeding
+// Options.Timeout, which is implemented as a context.WithTimeout layered on
+// ctx) aborts the computation at the next BFS level boundary — inside a
+// traversal, not just between stages — and returns the best lower bound
+// established so far with Result.Cancelled set (plus Result.TimedOut when
+// the cause was a deadline). The returned statistics stay consistent: no
+// partial traversal is ever recorded as an exact eccentricity or as a
+// removal the state arrays do not reflect.
+func DiameterCtx(ctx context.Context, g *graph.Graph, opt Options) Result {
 	s := newSolver(g, opt)
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	s.ctx = ctx
+	if ctx.Done() != nil {
+		// The flag flips exactly when ctx is done; AfterFunc avoids both
+		// per-level ctx.Err() mutex traffic and a dedicated watcher
+		// goroutine (the runtime runs the callback once, on cancellation).
+		stop := context.AfterFunc(ctx, func() { s.cancelFlag.Store(true) })
+		defer stop()
+		if ctx.Err() != nil {
+			// Already cancelled: AfterFunc runs its callback asynchronously,
+			// so set the flag here to make the abort deterministic rather
+			// than racing a fast solve against goroutine scheduling.
+			s.cancelFlag.Store(true)
+		}
+	}
+	s.e.SetCancel(&s.cancelFlag)
 	return s.run()
 }
 
@@ -50,11 +85,22 @@ type solver struct {
 	// already eliminated around it, so hubs with many degree-1 neighbors
 	// are not re-eliminated once per leaf (a star would otherwise cost
 	// O(n²); skipping repeats is a pure no-op semantically because
-	// Eliminate is idempotent removal).
+	// Eliminate is idempotent removal). chainMax as the recorded length
+	// means the ball exhausted everything reachable around the hub.
+	// chainRing keeps each hub ball's outermost freshly-removed ring, so
+	// a longer chain arriving later extends the ball incrementally from
+	// the ring instead of re-traversing the interior (mirroring
+	// extendEliminated's scheme for bound growth).
 	chainDone map[graph.Vertex]int32
+	chainRing map[graph.Vertex][]graph.Vertex
 
-	deadline time.Time
-	stats    Stats
+	// ctx is the run's context; cancelFlag flips (via context.AfterFunc)
+	// the moment it is done. The solver polls the flag at stage
+	// boundaries and hands it to the BFS engine for the per-level check.
+	ctx        context.Context
+	cancelFlag atomic.Bool
+
+	stats Stats
 }
 
 func newSolver(g *graph.Graph, opt Options) *solver {
@@ -70,18 +116,16 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 		g:        g,
 		e:        e,
 		opt:      opt,
+		ctx:      context.Background(),
 		witnessA: graph.NoVertex,
 		witnessB: graph.NoVertex,
-	}
-	if opt.Timeout > 0 {
-		s.deadline = time.Now().Add(opt.Timeout)
 	}
 	return s
 }
 
-func (s *solver) timedOut() bool {
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
-}
+// cancelled reports whether the run's context is done. One atomic load —
+// cheap enough for per-vertex loops (the chain scan, the main loop).
+func (s *solver) cancelled() bool { return s.cancelFlag.Load() }
 
 func (s *solver) run() Result {
 	// Park-released worker goroutines belong to this run's engine;
@@ -89,6 +133,31 @@ func (s *solver) run() Result {
 	// the garbage collector.
 	defer s.e.Close()
 	tStart := time.Now()
+
+	// finish assembles the Result on every exit path — normal completion
+	// and every cancellation point. A cancelled run reports the best
+	// lower bound established so far; TimedOut additionally distinguishes
+	// deadline causes (Options.Timeout or a deadline on the caller's ctx)
+	// from plain cancellation.
+	finish := func(infinite bool) Result {
+		cancelled := s.cancelled()
+		if checkedBuild {
+			s.checkStateConsistency("final")
+			s.checkFinal(infinite, cancelled)
+		}
+		s.stats.DirSwitches = s.e.DirectionSwitches()
+		s.stats.TimeTotal = time.Since(tStart)
+		return Result{
+			Diameter:  s.bound,
+			Infinite:  infinite,
+			TimedOut:  cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded),
+			Cancelled: cancelled,
+			WitnessA:  s.witnessA,
+			WitnessB:  s.witnessB,
+			Stats:     s.stats,
+		}
+	}
+
 	n := s.g.NumVertices()
 	s.stats.Vertices = n
 	tr := s.opt.Trace
@@ -160,34 +229,60 @@ func (s *solver) run() Result {
 		tr.SetStage("2-sweep")
 		tr.Begin("stage", "2-sweep", obs.I("start", int64(s.start)))
 	}
+	endSweep := func() {
+		if tr != nil {
+			tr.SetBound(int64(s.bound))
+			tr.End("stage", "2-sweep", obs.I("bound", int64(s.bound)))
+			s.observeProgress()
+		}
+	}
 	tEcc := time.Now()
 	uEcc := s.e.Eccentricity(s.start)
 	s.stats.EccBFS++
+	s.stats.TimeEcc += time.Since(tEcc)
+	if s.e.Aborted() {
+		// The completed levels of the aborted traversal still lower-bound
+		// ecc(u) and hence the diameter: the engine's current frontier is
+		// exactly uEcc levels from u. Nothing is recorded as exact.
+		s.bound = uEcc
+		s.witnessA, s.witnessB = s.start, s.e.LastFrontier()[0]
+		endSweep()
+		return finish(false)
+	}
 	reached := s.e.Reached()
+	// A BFS from start reaches exactly its component; together with the
+	// isolated-vertex count this decides connectivity with no extra pass.
+	infinite := n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
 	s.setComputed(s.start, uEcc)
 	w := s.e.LastFrontier()[0]
 	s.bound = uEcc
 	s.witnessA, s.witnessB = s.start, w
-	if w != s.start {
+	if w != s.start && !s.cancelled() {
+		tEcc = time.Now()
 		wEcc := s.e.Eccentricity(w)
 		s.stats.EccBFS++
+		s.stats.TimeEcc += time.Since(tEcc)
+		if s.e.Aborted() {
+			if wEcc > s.bound {
+				s.bound = wEcc
+				s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
+			}
+			endSweep()
+			return finish(infinite)
+		}
 		s.setComputed(w, wEcc)
 		if wEcc > s.bound {
 			s.bound = wEcc
 			s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
 		}
 	}
-	s.stats.TimeEcc += time.Since(tEcc)
 	if tr != nil {
-		tr.SetBound(int64(s.bound))
 		tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
-		tr.End("stage", "2-sweep", obs.I("bound", int64(s.bound)))
-		s.observeProgress()
 	}
-
-	// A BFS from start reaches exactly its component; together with the
-	// isolated-vertex count this decides connectivity with no extra pass.
-	infinite := n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
+	endSweep()
+	if s.cancelled() {
+		return finish(infinite)
+	}
 
 	// Winnow around the starting vertex (§4.2). Winnow subsumes what an
 	// Eliminate around u could remove (Theorem 3: ecc(u) ≥ bound/2, so
@@ -197,11 +292,17 @@ func (s *solver) run() Result {
 	// pruning out entirely, as in the paper's Table 5.
 	if !s.opt.DisableWinnow {
 		s.winnow()
+		if s.cancelled() {
+			return finish(infinite)
+		}
 	}
 
 	// Chain Processing (§4.3).
 	if !s.opt.DisableChain {
 		s.chains()
+		if s.cancelled() {
+			return finish(infinite)
+		}
 	}
 
 	// Main loop (Algorithm 1): evaluate the remaining active vertices.
@@ -209,15 +310,13 @@ func (s *solver) run() Result {
 		tr.SetStage("main-loop")
 		tr.Begin("stage", "main-loop")
 	}
-	timedOut := false
 	for v := 0; v < n; v++ {
 		if s.ecc[v] != Active {
 			continue
 		}
-		if s.timedOut() {
-			timedOut = true
+		if s.cancelled() {
 			if tr != nil {
-				tr.Instant("run", "timeout")
+				tr.Instant("run", "cancelled")
 			}
 			break
 		}
@@ -225,6 +324,18 @@ func (s *solver) run() Result {
 		vecc := s.e.Eccentricity(graph.Vertex(v))
 		s.stats.EccBFS++
 		s.stats.TimeEcc += time.Since(tEcc)
+		if s.e.Aborted() {
+			// The truncated level count still lower-bounds ecc(v); use it
+			// if it beats the bound, but never record it as exact.
+			if vecc > s.bound {
+				s.bound = vecc
+				s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
+			}
+			if tr != nil {
+				tr.Instant("run", "cancelled")
+			}
+			break
+		}
 		s.setComputed(graph.Vertex(v), vecc)
 		switch {
 		case vecc > s.bound:
@@ -258,21 +369,7 @@ func (s *solver) run() Result {
 	if tr != nil {
 		tr.End("stage", "main-loop", obs.I("computed", s.stats.Computed))
 	}
-
-	if checkedBuild {
-		s.checkStateConsistency("final")
-		s.checkFinal(infinite, timedOut)
-	}
-	s.stats.DirSwitches = s.e.DirectionSwitches()
-	s.stats.TimeTotal = time.Since(tStart)
-	return Result{
-		Diameter: s.bound,
-		Infinite: infinite,
-		TimedOut: timedOut,
-		WitnessA: s.witnessA,
-		WitnessB: s.witnessB,
-		Stats:    s.stats,
-	}
+	return finish(infinite)
 }
 
 // observeProgress pushes the live bound and active-vertex count to the

@@ -55,10 +55,14 @@ type Options struct {
 	// nil-guarded and the hot-path methods are allocation-free on nil.
 	Trace *obs.Run
 
-	// Timeout aborts the computation after the given wall-clock duration
-	// (checked between BFS calls). Zero means no limit. A timed-out run
-	// reports TimedOut in the Result; Diameter then holds the best lower
-	// bound found so far, mirroring the paper's "T/O" entries.
+	// Timeout aborts the computation after the given wall-clock duration.
+	// Zero means no limit. It is implemented as a context.WithTimeout
+	// layered on the caller's context (DiameterCtx) and enforced at every
+	// BFS level boundary, so even a single huge traversal — or the
+	// 2-sweep, Winnow and Chain stages — stops within one level of the
+	// deadline. A timed-out run reports TimedOut (and Cancelled) in the
+	// Result; Diameter then holds the best lower bound found so far,
+	// mirroring the paper's "T/O" entries.
 	Timeout time.Duration
 }
 

@@ -24,6 +24,11 @@ type Stats struct {
 	// EliminateCalls counts Eliminate invocations plus multi-source
 	// region extensions. Not counted as BFS traversals (paper §6.3).
 	EliminateCalls int64 `json:"eliminate_calls"`
+	// EliminateVisited is the total number of frontier vertices the
+	// Eliminate partial traversals reported across all calls (chain
+	// eliminations included) — the work measure that pins the
+	// incremental chain-extension behavior in tests.
+	EliminateVisited int64 `json:"eliminate_visited"`
 	// BoundImprovements counts how often the main loop found a vertex
 	// whose eccentricity exceeded the current bound.
 	BoundImprovements int64 `json:"bound_improvements"`
@@ -105,8 +110,17 @@ type Result struct {
 	// diameter is infinite; Diameter then still holds the largest
 	// component-internal eccentricity, matching the paper's output.
 	Infinite bool `json:"infinite"`
-	// TimedOut reports that Options.Timeout expired; Diameter is then
-	// only a lower bound.
+	// Cancelled reports that the run was cut short — its context was
+	// cancelled or a deadline (Options.Timeout, or a deadline on the
+	// caller's context) expired before completion. Diameter is then only
+	// a lower bound, and Infinite is only meaningful if the first 2-sweep
+	// traversal completed. TimedOut additionally distinguishes deadline
+	// causes: it is set exactly when Cancelled is set and the context's
+	// cause is context.DeadlineExceeded, mirroring the paper's "T/O"
+	// entries.
+	Cancelled bool `json:"cancelled"`
+	// TimedOut reports that a deadline expired (see Cancelled); Diameter
+	// is then only a lower bound.
 	TimedOut bool `json:"timed_out"`
 	// WitnessA and WitnessB are a vertex pair realizing the diameter:
 	// ecc(WitnessA) = Diameter and d(WitnessA, WitnessB) = Diameter.

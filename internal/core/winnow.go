@@ -58,6 +58,20 @@ func (s *solver) winnow() {
 		s.markWinnowed(frontier, workers)
 	})
 
+	if s.e.Aborted() {
+		// Every level reported before the abort was exact, so all marks
+		// applied are inside the authorized ball — but the traversal did
+		// not reach the full radius, so the saved frontier/depth pair
+		// must not advance: the caller returns immediately and a
+		// hypothetical later extension would resume from the old ring.
+		s.stats.TimeWinnow += time.Since(t0)
+		if tr != nil {
+			tr.End("stage", "winnow", obs.I("removed_total", s.stats.RemovedWinnow))
+			s.observeProgress()
+		}
+		return
+	}
+
 	// LastFrontier always contains at least the seeds, so winnowFrontier
 	// becomes non-nil here, which is what marks the first call as done.
 	s.winnowFrontier = append(s.winnowFrontier[:0], s.e.LastFrontier()...)

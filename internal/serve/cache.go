@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"fdiam/internal/core"
+	"fdiam/internal/graph"
+)
+
+// graphWeight estimates the resident size of a parsed graph: the CSR
+// offsets array (8 bytes per vertex plus one) and the targets array
+// (4 bytes per arc). The raw upload bytes are not retained, so this is
+// the number that matters for cache sizing.
+func graphWeight(g *graph.Graph) int64 {
+	return 8*int64(g.NumVertices()+1) + 4*g.NumArcs()
+}
+
+// graphCache is a bytes-weighted LRU of parsed graphs keyed by the
+// SHA-256 of their serialized content. Parsing a multi-gigabyte edge list
+// dominates request latency for repeat clients, so the daemon keeps the
+// CSR form resident and re-keys purely on content: the same file uploaded
+// twice, or uploaded once and then referenced by path, hits the same
+// entry.
+type graphCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type graphEntry struct {
+	key   string
+	g     *graph.Graph
+	bytes int64
+}
+
+func newGraphCache(maxBytes int64) *graphCache {
+	return &graphCache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *graphCache) get(key string) (*graph.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*graphEntry).g, true
+}
+
+// add inserts g under key, evicting least-recently-used entries until the
+// byte budget holds. A graph larger than the whole budget is admitted
+// alone (the cache would otherwise thrash on exactly the inputs that are
+// most expensive to re-parse) — curBytes then temporarily exceeds
+// maxBytes until the next add evicts it.
+func (c *graphCache) add(key string, g *graph.Graph) {
+	w := graphWeight(g)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&graphEntry{key: key, g: g, bytes: w})
+	c.curBytes += w
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*graphEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.curBytes -= e.bytes
+	}
+}
+
+func (c *graphCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// resultCache is a count-bounded LRU of finished solver results keyed by
+// graph content hash. Only complete runs are stored — a cancelled or
+// timed-out result is a property of one request's deadline, not of the
+// graph, and must never be served to a later caller with a looser one.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type resultEntry struct {
+	key string
+	res core.Result
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return core.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*resultEntry).res, true
+}
+
+func (c *resultCache) add(key string, res core.Result) {
+	if res.Cancelled || res.TimedOut {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*resultEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&resultEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*resultEntry).key)
+	}
+}

@@ -1,0 +1,425 @@
+// Package serve implements fdiamd's HTTP API: a diameter-as-a-service
+// front end over core.DiameterCtx with a content-addressed graph cache, a
+// result cache, bounded admission, per-request deadlines and graceful
+// shutdown. DESIGN.md §9 documents the architecture.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdiam/internal/core"
+	"fdiam/internal/graph"
+	"fdiam/internal/graphio"
+	"fdiam/internal/obs"
+)
+
+// Config sizes one Server. The zero value is usable: every field falls
+// back to the documented default.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running solves. Each solve
+	// saturates Workers cores, so this is a memory/CPU admission knob,
+	// not an HTTP connection limit. Default 2.
+	MaxConcurrent int
+
+	// MaxQueue bounds solves waiting for a slot beyond the running ones.
+	// A request arriving when MaxConcurrent+MaxQueue are already admitted
+	// is rejected with 429 and a Retry-After hint instead of queuing
+	// unboundedly. Default 8.
+	MaxQueue int
+
+	// GraphCacheBytes budgets the parsed-graph LRU (CSR resident size,
+	// not upload size). Default 1 GiB.
+	GraphCacheBytes int64
+
+	// ResultCacheSize bounds the finished-result LRU (entries). Default
+	// 4096.
+	ResultCacheSize int
+
+	// DefaultTimeout applies to requests that carry no timeout parameter;
+	// zero means such requests run unbounded (until client disconnect or
+	// shutdown).
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps the per-request timeout parameter; zero means no
+	// cap.
+	MaxTimeout time.Duration
+
+	// MaxUploadBytes bounds the request body. Default 1 GiB.
+	MaxUploadBytes int64
+
+	// GraphDir, when set, allows `POST /diameter?path=name` to solve a
+	// pre-staged graph file from this directory instead of uploading it.
+	// Lookups go through os.Root, so path traversal outside the
+	// directory is rejected by the kernel-backed API, not by string
+	// checks.
+	GraphDir string
+
+	// Workers is passed to the solver (0 = all CPUs). One solve already
+	// parallelizes internally; deployments that prefer request throughput
+	// over single-request latency set Workers low and MaxConcurrent high.
+	Workers int
+
+	// Registry receives the fdiamd_* metrics. nil selects obs.Default(),
+	// so the daemon's /metrics endpoint exposes solver and serving
+	// counters side by side.
+	Registry *obs.Registry
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 2
+	}
+	if out.MaxQueue <= 0 {
+		out.MaxQueue = 8
+	}
+	if out.GraphCacheBytes <= 0 {
+		out.GraphCacheBytes = 1 << 30
+	}
+	if out.ResultCacheSize <= 0 {
+		out.ResultCacheSize = 4096
+	}
+	if out.MaxUploadBytes <= 0 {
+		out.MaxUploadBytes = 1 << 30
+	}
+	if out.Registry == nil {
+		out.Registry = obs.Default()
+	}
+	return out
+}
+
+// Server is the fdiamd HTTP handler plus the lifecycle state behind it.
+// Create with New, mount as an http.Handler, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	inflight sync.WaitGroup
+	slots    chan struct{}
+	admitted atomic.Int64 // running + queued solves
+	draining atomic.Bool
+	graphDir *os.Root
+
+	graphs  *graphCache
+	results *resultCache
+	mux     *http.ServeMux
+
+	mRequests    *obs.Counter
+	mRejected    *obs.Counter
+	mGraphHits   *obs.Counter
+	mGraphMisses *obs.Counter
+	mResultHits  *obs.Counter
+	mPanics      *obs.Counter
+	mCancelled   *obs.Counter
+	gInflight    *obs.Gauge
+	gQueued      *obs.Gauge
+	gGraphBytes  *obs.Gauge
+}
+
+// New builds a Server from cfg. It fails only when cfg.GraphDir is set
+// but cannot be opened.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		graphs:  newGraphCache(cfg.GraphCacheBytes),
+		results: newResultCache(cfg.ResultCacheSize),
+		mux:     http.NewServeMux(),
+	}
+	if cfg.GraphDir != "" {
+		root, err := os.OpenRoot(cfg.GraphDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("graph dir: %w", err)
+		}
+		s.graphDir = root
+	}
+	reg := cfg.Registry
+	s.mRequests = reg.Counter("fdiamd_requests_total", "diameter requests received")
+	s.mRejected = reg.Counter("fdiamd_rejected_total", "requests rejected because the admission queue was full")
+	s.mGraphHits = reg.Counter("fdiamd_graph_cache_hits_total", "requests served from the parsed-graph cache")
+	s.mGraphMisses = reg.Counter("fdiamd_graph_cache_misses_total", "requests that parsed their graph from scratch")
+	s.mResultHits = reg.Counter("fdiamd_result_cache_hits_total", "requests answered from the result cache without solving")
+	s.mPanics = reg.Counter("fdiamd_panics_total", "handler panics recovered into 500 responses")
+	s.mCancelled = reg.Counter("fdiamd_solves_cancelled_total", "solves that returned cancelled (deadline, disconnect or shutdown)")
+	s.gInflight = reg.Gauge("fdiamd_inflight_solves", "solves currently running")
+	s.gQueued = reg.Gauge("fdiamd_queued_solves", "solves waiting for a slot")
+	s.gGraphBytes = reg.Gauge("fdiamd_graph_cache_bytes", "resident bytes in the parsed-graph cache")
+
+	s.mux.HandleFunc("/diameter", s.handleDiameter)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	// Everything else falls through to the shared introspection mux:
+	// /metrics, /progress, /debug/pprof.
+	s.mux.Handle("/", obs.NewMux(reg))
+	return s, nil
+}
+
+// ServeHTTP dispatches through the panic-recovery middleware: a panicking
+// handler (e.g. a checked-build invariant violation inside the solver)
+// becomes a 500 for that request instead of killing the daemon.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.mPanics.Inc()
+			http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown makes the server drain: new solves are refused with 503,
+// every in-flight solve's context is cancelled (so each returns its best
+// lower bound within one BFS level), and the call blocks until all
+// admitted requests have finished writing their responses or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancel()
+	done := make(chan struct{})
+	// Shutdown is a cold path; a watcher goroutine bridging WaitGroup to
+	// channel is the standard idiom and dies with the wait.
+	//fdiamlint:ignore nakedgo waitgroup-to-channel bridge, exits when the last request drains
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if s.graphDir != nil {
+			_ = s.graphDir.Close()
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// response is the /diameter reply schema. Witnesses use -1 for "none" so
+// consumers need not know the internal NoVertex sentinel; the cache
+// fields let clients and tests observe which layers were hit.
+type response struct {
+	Diameter       int32       `json:"diameter"`
+	Infinite       bool        `json:"infinite"`
+	TimedOut       bool        `json:"timed_out"`
+	Cancelled      bool        `json:"cancelled"`
+	WitnessA       int64       `json:"witness_a"`
+	WitnessB       int64       `json:"witness_b"`
+	ElapsedNS      int64       `json:"elapsed_ns"`
+	GraphHash      string      `json:"graph_hash"`
+	GraphCacheHit  bool        `json:"graph_cache_hit"`
+	ResultCacheHit bool        `json:"result_cache_hit"`
+	Stats          *core.Stats `json:"stats,omitempty"`
+}
+
+func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a graph file (fdiam binary, Matrix Market, DIMACS or edge list)", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mRequests.Inc()
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, status, err := s.requestGraphBytes(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+
+	// Result cache first: a finished diameter is a pure function of the
+	// graph content, so repeat requests skip admission entirely.
+	if res, ok := s.results.get(key); ok {
+		s.mResultHits.Inc()
+		s.writeResult(w, key, res, 0, true, true)
+		return
+	}
+
+	g, hit := s.graphs.get(key)
+	if !hit {
+		parsed, err := graphio.ReadAuto(data)
+		if err != nil {
+			http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		g = parsed
+	}
+	data = nil // the CSR form is all that is retained past this point
+
+	// Admission: running + queued may not exceed the configured bound.
+	if admitted := s.admitted.Add(1); admitted > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+		s.admitted.Add(-1)
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "solver queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer s.admitted.Add(-1)
+
+	s.gQueued.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		s.gQueued.Add(-1)
+	case <-r.Context().Done():
+		s.gQueued.Add(-1)
+		return // client went away while queued; nothing to write
+	case <-s.baseCtx.Done():
+		s.gQueued.Add(-1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	// The solve context layers shutdown (baseCtx), the client connection
+	// and the per-request deadline: whichever fires first stops the run
+	// at its next BFS level boundary.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	stopClientWatch := context.AfterFunc(r.Context(), cancel)
+	defer stopClientWatch()
+
+	s.gInflight.Add(1)
+	start := time.Now()
+	res := core.DiameterCtx(ctx, g, core.Options{Workers: s.cfg.Workers, Timeout: timeout})
+	elapsed := time.Since(start)
+	s.gInflight.Add(-1)
+
+	if res.Cancelled {
+		s.mCancelled.Inc()
+	} else {
+		// Populate both caches only on completed runs; add() ignores
+		// cancelled results anyway, but skipping the graph insert too
+		// keeps a drain from churning the LRU.
+		if hit {
+			s.mGraphHits.Inc()
+		} else {
+			s.mGraphMisses.Inc()
+			s.graphs.add(key, g)
+			s.gGraphBytes.Set(s.graphs.bytes())
+		}
+		s.results.add(key, res)
+	}
+	s.writeResult(w, key, res, elapsed, hit, false)
+}
+
+// requestTimeout resolves the effective solve deadline: the request's
+// `timeout` parameter, clamped to MaxTimeout, defaulting to
+// DefaultTimeout.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	timeout := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("timeout: %v", err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("timeout: negative duration %s", d)
+		}
+		timeout = d
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout, nil
+}
+
+// requestGraphBytes returns the serialized graph for the request: the
+// uploaded body, or — when a graph directory is configured — the
+// pre-staged file named by the `path` parameter.
+func (s *Server) requestGraphBytes(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	if name := r.URL.Query().Get("path"); name != "" {
+		if s.graphDir == nil {
+			return nil, http.StatusBadRequest, errors.New("path requests disabled: no -graphs directory configured")
+		}
+		f, err := s.graphDir.Open(name)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, http.StatusNotFound, fmt.Errorf("path: %s not found", name)
+			}
+			return nil, http.StatusBadRequest, fmt.Errorf("path: %v", err)
+		}
+		defer f.Close()
+		data, err := io.ReadAll(io.LimitReader(f, s.cfg.MaxUploadBytes+1))
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("path: %v", err)
+		}
+		if int64(len(data)) > s.cfg.MaxUploadBytes {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("graph file exceeds %d bytes", s.cfg.MaxUploadBytes)
+		}
+		return data, 0, nil
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("body: %v", err)
+	}
+	if len(data) == 0 {
+		return nil, http.StatusBadRequest, errors.New("empty body: POST a graph file or use ?path=")
+	}
+	return data, 0, nil
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool) {
+	witness := func(v uint32) int64 {
+		if v == graph.NoVertex {
+			return -1
+		}
+		return int64(v)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	stats := res.Stats
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(response{
+		Diameter:       res.Diameter,
+		Infinite:       res.Infinite,
+		TimedOut:       res.TimedOut,
+		Cancelled:      res.Cancelled,
+		WitnessA:       witness(res.WitnessA),
+		WitnessB:       witness(res.WitnessB),
+		ElapsedNS:      elapsed.Nanoseconds(),
+		GraphHash:      key,
+		GraphCacheHit:  graphHit,
+		ResultCacheHit: resultHit,
+		Stats:          &stats,
+	})
+}
