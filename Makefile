@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test race lint checked fuzz-smoke serve fmt clean
+.PHONY: all build test race lint checked fuzz-smoke chaos serve fmt clean
 
 all: build test
 
@@ -31,6 +31,12 @@ fuzz-smoke:
 	$(GO) test -tags fdiam.checked -fuzz=FuzzDiameterMatchesNaive -fuzztime=15s -run='^$$' ./internal/core/
 	$(GO) test -fuzz=FuzzReadAuto -fuzztime=15s -run='^$$' ./internal/graphio/
 	$(GO) test -fuzz=FuzzReadMETIS -fuzztime=15s -run='^$$' ./internal/graphio/
+
+# chaos runs the crash-safety end-to-end test: build a real fdiamd, kill -9
+# it mid-solve, restart it over the same -checkpoint-dir, and verify the
+# orphaned solve resumes from its snapshot and reaches the same diameter.
+chaos:
+	$(GO) test -run 'TestChaosKillDashNineAndResume' -count=1 -v ./cmd/fdiamd/
 
 # serve builds and starts a local fdiamd on :8080. Ctrl-C (or SIGTERM)
 # drains gracefully: in-flight solves return their best lower bound first.

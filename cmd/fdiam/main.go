@@ -17,6 +17,12 @@
 //	fdiam -stats -v snap-edges.txt
 //	fdiam -trace run.json -json web.txt
 //	fdiam -http :6060 -progress 2s road.gr
+//	fdiam -checkpoint-dir ./ckpt -checkpoint-interval 30s huge.gr
+//
+// With -checkpoint-dir, the solver snapshots its state there periodically;
+// re-running the same command after an interruption (Ctrl-C, crash, kill -9)
+// resumes from the snapshot instead of starting over, redoing at most one
+// checkpoint interval of work.
 package main
 
 import (
@@ -27,12 +33,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"fdiam/internal/baseline"
+	"fdiam/internal/checkpoint"
 	"fdiam/internal/core"
+	"fdiam/internal/fault"
 	"fdiam/internal/graph"
 	"fdiam/internal/graphio"
 	"fdiam/internal/obs"
@@ -67,14 +76,19 @@ func run(args []string, out io.Writer) error {
 	eventsFile := fs.String("events", "", "write an NDJSON structured event log of the run to this file; fdiam only")
 	httpAddr := fs.String("http", "", "serve /metrics, /progress and /debug/pprof on this address (e.g. :6060)")
 	progress := fs.Duration("progress", 0, "log a one-line progress status to stderr at this interval; fdiam only")
+	ckDir := fs.String("checkpoint-dir", "", "write crash-safe snapshots here and auto-resume from an existing one; fdiam only")
+	ckEvery := fs.Duration("checkpoint-interval", 0, "snapshot cadence (0 = solver default 10s); fdiam only")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
 	}
-	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0) {
-		return fmt.Errorf("-trace, -events and -progress require -algo fdiam")
+	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0 || *ckDir != "") {
+		return fmt.Errorf("-trace, -events, -progress and -checkpoint-dir require -algo fdiam")
+	}
+	if err := fault.ConfigureFromEnv(); err != nil {
+		return err
 	}
 
 	if *httpAddr != "" {
@@ -164,6 +178,16 @@ func run(args []string, out io.Writer) error {
 				defer stop()
 			}
 		}
+		ck := core.CheckpointOptions{Dir: *ckDir, Every: *ckEvery}
+		if *ckDir != "" {
+			// Auto-resume: a snapshot in the checkpoint dir is what a
+			// previous interrupted run of (presumably) this graph left
+			// behind; a mismatched graph is rejected by validation and the
+			// solve falls back to fresh.
+			if snap := filepath.Join(*ckDir, checkpoint.FileName); fileExists(snap) {
+				ck.ResumeFrom = snap
+			}
+		}
 		res := core.DiameterCtx(ctx, g, core.Options{
 			Workers:             *workers,
 			Timeout:             *timeout,
@@ -174,8 +198,14 @@ func run(args []string, out io.Writer) error {
 			DisableDirectionOpt: *noDirOpt,
 			BFSAlpha:            *alpha,
 			BFSBeta:             *beta,
+			Checkpoint:          ck,
 			Trace:               trace,
 		})
+		if res.ResumeError != "" {
+			fmt.Fprintf(os.Stderr, "fdiam: checkpoint resume failed (%s); solved from scratch\n", res.ResumeError)
+		} else if res.Resumed {
+			fmt.Fprintln(os.Stderr, "fdiam: resumed from checkpoint")
+		}
 		elapsed := time.Since(start)
 		if trace != nil {
 			if err := trace.Finish(); err != nil {
@@ -257,6 +287,11 @@ func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, 
 		Stats:         st,
 		BFSTraversals: baselineBFS,
 	})
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func report(out io.Writer, diameter int32, infinite, timedOut, cancelled bool, elapsed time.Duration) {

@@ -265,3 +265,23 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown algorithm accepted")
 	}
 }
+
+func TestRunCheckpointFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	ckDir := filepath.Join(t.TempDir(), "ckpt")
+	var buf bytes.Buffer
+	if err := run([]string{"-checkpoint-dir", ckDir, "-checkpoint-interval", "1ms", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diameter: 10") {
+		t.Errorf("checkpointed run wrong: %q", buf.String())
+	}
+	// A completed run retires its snapshot; the directory itself remains.
+	if _, err := os.Stat(filepath.Join(ckDir, "state.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("completed run left a snapshot: %v", err)
+	}
+	// Checkpointing is an F-Diam feature; baselines must reject the flag.
+	if err := run([]string{"-algo", "ifub", "-checkpoint-dir", ckDir, path}, &buf); err == nil {
+		t.Error("baseline accepted -checkpoint-dir")
+	}
+}

@@ -1,0 +1,220 @@
+package main
+
+// Chaos test: kill -9 a real fdiamd mid-solve and prove the restarted
+// daemon resumes the orphaned solve from its checkpoint snapshot and reaches
+// the identical diameter. This is the end-to-end crash-safety contract; the
+// "at most one checkpoint interval redone" half is pinned deterministically
+// by the solver-level tests in internal/core.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"fdiam/internal/checkpoint"
+	"fdiam/internal/gen"
+	"fdiam/internal/graphio"
+)
+
+// daemonProc is one spawned fdiamd process.
+type daemonProc struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+	url string
+}
+
+func spawnDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	p := &daemonProc{out: &syncBuffer{}}
+	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(20 * time.Second)
+	for p.url == "" {
+		if m := listenLine.FindStringSubmatch(p.out.String()); m != nil {
+			p.url = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spawned daemon never listened:\n%s", p.out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return p
+}
+
+func (p *daemonProc) kill9() error {
+	if err := p.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		return err
+	}
+	return p.cmd.Wait() // expected to report the kill
+}
+
+var resumesMetric = regexp.MustCompile(`(?m)^fdiamd_resumes_total\s+(\d+)$`)
+
+func readResumesMetric(url string) int {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	m := resumesMetric.FindSubmatch(body)
+	if m == nil {
+		return -1
+	}
+	n, _ := strconv.Atoi(string(m[1]))
+	return n
+}
+
+func TestChaosKillDashNineAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kill -9s a real daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "fdiamd-chaos")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Skipf("cannot build daemon binary: %v\n%s", err, out)
+	}
+
+	// Grid diameters are known analytically ((w-1)+(h-1)), so no reference
+	// solve is needed. The ladder retries with longer solves until the kill
+	// lands between the first snapshot and completion.
+	for _, side := range []int{300, 500, 800} {
+		g := gen.Grid2D(side, side)
+		wantDiameter := int32(2 * (side - 1))
+		var buf bytes.Buffer
+		if err := graphio.WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		body := buf.Bytes()
+		sum := sha256.Sum256(body)
+		key := hex.EncodeToString(sum[:])
+		ckDir := t.TempDir()
+
+		if diameter, landed := chaosAttempt(t, bin, ckDir, key, body); landed {
+			if diameter != wantDiameter {
+				t.Fatalf("resumed daemon returned diameter %d, want %d", diameter, wantDiameter)
+			}
+			return
+		}
+		t.Logf("grid %dx%d solved before a snapshot landed; retrying larger", side, side)
+	}
+	t.Skip("could not land a kill between first snapshot and completion on this machine")
+}
+
+// chaosAttempt runs one crash/restart cycle. Returns landed=false when the
+// solve finished before a snapshot existed (retry with a longer solve).
+func chaosAttempt(t *testing.T, bin, ckDir, key string, body []byte) (int32, bool) {
+	t.Helper()
+	p1 := spawnDaemon(t, bin,
+		"-checkpoint-dir", ckDir, "-checkpoint-interval", "25ms", "-workers", "1")
+
+	solveDone := make(chan struct{})
+	go func() {
+		defer close(solveDone)
+		resp, err := http.Post(p1.url+"/diameter", "application/octet-stream", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close() // completed before the kill: attempt failed
+		}
+	}()
+
+	// Wait for the first snapshot of this graph to hit the disk.
+	snap := filepath.Join(ckDir, key, checkpoint.FileName)
+	landed := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(snap); err == nil {
+			landed = true
+			break
+		}
+		select {
+		case <-solveDone:
+			// Finished without a surviving snapshot: solve too fast.
+			_ = p1.cmd.Process.Kill()
+			_ = p1.cmd.Wait()
+			return 0, false
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !landed {
+		t.Fatalf("no snapshot appeared within 30s:\n%s", p1.out.String())
+	}
+	if err := p1.kill9(); err != nil && p1.cmd.ProcessState == nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	// The murdered daemon must leave its crash artifacts: the snapshot and
+	// the serialized graph beside it.
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot vanished after kill -9: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(ckDir, key, "graph")); err != nil {
+		t.Fatalf("graph copy missing after kill -9: %v", err)
+	}
+
+	// Restart over the same checkpoint dir: boot recovery must resume the
+	// orphan (fdiamd_resumes_total counts only snapshot-based resumes) and
+	// publish its result to the caches.
+	p2 := spawnDaemon(t, bin,
+		"-checkpoint-dir", ckDir, "-checkpoint-interval", "25ms", "-workers", "1")
+	deadline = time.Now().Add(120 * time.Second)
+	for readResumesMetric(p2.url) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted daemon never resumed the orphan:\n%s", p2.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Post(p2.url+"/diameter", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post-resume request: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Diameter       int32 `json:"diameter"`
+		ResultCacheHit bool  `json:"result_cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-resume request: status %d", resp.StatusCode)
+	}
+	if !out.ResultCacheHit {
+		t.Fatalf("resumed result not served from cache: %+v", out)
+	}
+	// Clean shutdown of the survivor.
+	if err := p2.cmd.Process.Signal(os.Interrupt); err == nil {
+		done := make(chan error, 1)
+		go func() { done <- p2.cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			_ = p2.cmd.Process.Kill()
+			<-done
+		}
+	}
+	return out.Diameter, true
+}

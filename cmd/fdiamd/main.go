@@ -19,10 +19,18 @@
 // solves are cancelled at their next BFS level boundary and their partial
 // bounds are still written before the process exits.
 //
+// With -checkpoint-dir set, every solve periodically snapshots its state
+// there (one subdirectory per graph, content-addressed); after a crash or
+// kill -9 the next boot resumes the orphaned solves from their snapshots and
+// publishes the results to the caches, losing at most one checkpoint
+// interval of work. FDIAM_FAULTS (or -faults) arms deterministic fault
+// injection for chaos testing.
+//
 // Examples:
 //
 //	fdiamd -addr :8080
 //	fdiamd -addr :8080 -graphs /data/graphs -max-concurrent 4 -max-timeout 2.5h
+//	fdiamd -addr :8080 -checkpoint-dir /var/lib/fdiamd/ckpt -checkpoint-interval 30s
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"fdiam/internal/fault"
 	"fdiam/internal/serve"
 )
 
@@ -64,11 +73,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-request timeouts (0 = no cap)")
 	maxUpload := fs.Int64("max-upload-bytes", 1<<30, "request body size limit")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	ckDir := fs.String("checkpoint-dir", "", "persist crash-safe snapshots of in-flight solves here and resume them on boot (empty = off)")
+	ckEvery := fs.Duration("checkpoint-interval", 10*time.Second, "snapshot cadence for checkpointed solves")
+	faults := fs.String("faults", "", "fault-injection spec for chaos testing (overrides "+fault.EnvVar+"; see internal/fault)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v (fdiamd takes only flags, see -h)", fs.Args())
+	}
+	if *faults != "" {
+		if err := fault.Configure(*faults); err != nil {
+			return err
+		}
+	} else if err := fault.ConfigureFromEnv(); err != nil {
+		return err
+	}
+	if active := fault.Active(); len(active) != 0 {
+		fmt.Fprintf(out, "fdiamd: fault injection armed: %v\n", active)
 	}
 
 	api, err := serve.New(serve.Config{
@@ -80,6 +102,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxTimeout:      *maxTimeout,
 		MaxUploadBytes:  *maxUpload,
 		GraphDir:        *graphs,
+		CheckpointDir:   *ckDir,
+		CheckpointEvery: *ckEvery,
 		Workers:         *workers,
 	})
 	if err != nil {
@@ -97,6 +121,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	//fdiamlint:ignore nakedgo http.Server accept-loop goroutine, joined via errc on shutdown
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(out, "fdiamd: listening on http://%s\n", ln.Addr())
+	if *ckDir != "" {
+		// Boot-time recovery runs behind the listener so a daemon with a
+		// backlog of crashed solves still answers health checks instantly.
+		//fdiamlint:ignore nakedgo boot-time recovery, bounded by the solve slot pool and baseCtx
+		go func() {
+			if n := api.ResumeOrphans(); n > 0 {
+				fmt.Fprintf(out, "fdiamd: finished %d orphaned solve(s) from %s\n", n, *ckDir)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

@@ -60,6 +60,13 @@ type Vertex = graph.Vertex
 // parallel algorithm. See the fields for the paper's ablation toggles.
 type Options = core.Options
 
+// CheckpointOptions (the Options.Checkpoint field) makes a long solve
+// crash-safe: the solver periodically snapshots its state to Dir and a later
+// run resuming via ResumeFrom redoes at most one checkpoint interval of
+// work. Snapshots are CRC-guarded, bound to the graph's content hash, and
+// any resume failure degrades to a fresh — still exact — solve.
+type CheckpointOptions = core.CheckpointOptions
+
 // Result is the outcome of a diameter computation, including the per-stage
 // statistics (BFS counts, removal percentages, stage timings) the paper
 // reports in its evaluation.

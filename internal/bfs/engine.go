@@ -82,6 +82,13 @@ type Engine struct {
 	cancel  *atomic.Bool
 	aborted bool
 
+	// barrier, when non-nil, runs once per completed level on the
+	// traversal's own goroutine, right after the cancel poll. The solver
+	// installs its checkpoint hook here so that even a single multi-minute
+	// traversal hits a snapshot cadence; the callback must not start
+	// another traversal on this engine.
+	barrier func()
+
 	// trace receives structured traversal/level events; nil (the default)
 	// disables tracing at the cost of one pointer compare per level. The
 	// per-level hook supersedes the bare DirSwitches counters below as
@@ -200,6 +207,13 @@ func (e *Engine) SetTracer(r *obs.Run) { e.trace = r }
 // load-only from the engine's side; the owner stores true to cancel (e.g.
 // from a context.AfterFunc when a context is done).
 func (e *Engine) SetCancel(flag *atomic.Bool) { e.cancel = flag }
+
+// SetBarrier installs a callback invoked once per completed BFS level,
+// between levels, on the goroutine running the traversal (so it may read
+// any state the traversal's caller owns). nil (the default) removes it.
+// Checkpointing uses this as its time-based cadence point inside long
+// traversals.
+func (e *Engine) SetBarrier(f func()) { e.barrier = f }
 
 // Aborted reports whether the most recent traversal was cut short by the
 // cancellation flag. An aborted traversal's level count is a valid lower
@@ -391,6 +405,9 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 		if e.cancel != nil && e.cancel.Load() {
 			e.aborted = true
 			break
+		}
+		if e.barrier != nil {
+			e.barrier()
 		}
 		nf := len(e.wl1)
 		if adaptive {

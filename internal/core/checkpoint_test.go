@@ -1,0 +1,253 @@
+package core
+
+// Checkpoint/resume tests: a solve interrupted mid-main-loop must resume
+// from its snapshot to the identical exact diameter with at most one BFS of
+// redone work, and every resume failure must degrade to a fresh (still
+// exact) solve.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fdiam/internal/checkpoint"
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+)
+
+// interruptMidMainLoop runs a checkpointed solve on g and cancels it once
+// the main loop is underway, retrying with growing delays until the cancel
+// actually lands mid-main-loop (snapshot file present and run cancelled).
+func interruptMidMainLoop(t *testing.T, g *graph.Graph, dir string) Result {
+	t.Helper()
+	path := filepath.Join(dir, checkpoint.FileName)
+	delay := 2 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan Result, 1)
+		go func() {
+			done <- DiameterCtx(ctx, g, Options{
+				Workers:    1,
+				Checkpoint: CheckpointOptions{Dir: dir, Interval: 1},
+			})
+		}()
+		time.Sleep(delay)
+		cancel()
+		res := <-done
+		if res.Cancelled {
+			if _, err := os.Stat(path); err == nil {
+				return res
+			}
+			// Cancelled before the main loop (2-sweep/winnow) — no
+			// snapshot by design. Let it run longer next time.
+			delay *= 2
+			continue
+		}
+		// Ran to completion before the cancel landed; a completed solve
+		// removes its snapshot, so shrink the delay and retry.
+		if _, err := os.Stat(path); err == nil {
+			t.Fatal("completed solve left its snapshot behind")
+		}
+		delay /= 2
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+	}
+	t.Skip("could not land a cancellation inside the main loop on this machine")
+	return Result{}
+}
+
+func TestCheckpointResumeExactDiameter(t *testing.T) {
+	// A grid keeps the main loop long (no chains, winnow leaves the
+	// borders active) so the interruption lands where snapshots exist.
+	g := gen.Grid2D(120, 120)
+	fresh := Diameter(g, Options{Workers: 1})
+	if fresh.Cancelled {
+		t.Fatal("fresh solve cancelled")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, checkpoint.FileName)
+	first := interruptMidMainLoop(t, g, dir)
+
+	// The snapshot on disk must parse and validate against the graph —
+	// this is the artifact a crashed process leaves behind.
+	snap, err := checkpoint.Read(path)
+	if err != nil {
+		t.Fatalf("reading interruption snapshot: %v", err)
+	}
+	if err := snap.Validate(g); err != nil {
+		t.Fatalf("interruption snapshot invalid: %v", err)
+	}
+	if snap.Counters.EccBFS > first.Stats.EccBFS {
+		t.Fatalf("snapshot claims %d BFS, interrupted run did %d",
+			snap.Counters.EccBFS, first.Stats.EccBFS)
+	}
+
+	resumed := Diameter(g, Options{
+		Workers:    1,
+		Checkpoint: CheckpointOptions{Dir: dir, Interval: 1, ResumeFrom: path},
+	})
+	if !resumed.Resumed {
+		t.Fatalf("resume did not happen: %q", resumed.ResumeError)
+	}
+	if resumed.Cancelled {
+		t.Fatal("resumed run reports cancelled")
+	}
+	if resumed.Diameter != fresh.Diameter {
+		t.Fatalf("resumed diameter %d != fresh %d", resumed.Diameter, fresh.Diameter)
+	}
+	if resumed.Infinite != fresh.Infinite {
+		t.Fatalf("resumed infinite %v != fresh %v", resumed.Infinite, fresh.Infinite)
+	}
+	// "At most one checkpoint interval of redone work": with Interval=1
+	// the only BFS not in the snapshot is the one in flight when the
+	// cancel landed, so the continued counter may exceed an uninterrupted
+	// run's by at most that single redone traversal.
+	if resumed.Stats.EccBFS > fresh.Stats.EccBFS+1 {
+		t.Fatalf("resumed run did %d total BFS, fresh did %d — more than one redone",
+			resumed.Stats.EccBFS, fresh.Stats.EccBFS)
+	}
+	if resumed.Stats.Computed != fresh.Stats.Computed {
+		t.Fatalf("resumed computed %d vertices, fresh %d",
+			resumed.Stats.Computed, fresh.Stats.Computed)
+	}
+	// A completed solve retires its snapshot.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot still present after completed resume: %v", err)
+	}
+}
+
+func TestResumeFallsBackOnBadSnapshot(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	want := Diameter(g, Options{Workers: 1}).Diameter
+
+	t.Run("missing", func(t *testing.T) {
+		res := Diameter(g, Options{Workers: 1, Checkpoint: CheckpointOptions{
+			ResumeFrom: filepath.Join(t.TempDir(), "nope.ckpt"),
+		}})
+		if res.Resumed || res.ResumeError == "" {
+			t.Fatalf("Resumed=%v ResumeError=%q", res.Resumed, res.ResumeError)
+		}
+		if res.Diameter != want {
+			t.Fatalf("fallback diameter %d, want %d", res.Diameter, want)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), checkpoint.FileName)
+		if err := os.WriteFile(path, []byte("FDIAMCK1 garbage that is not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res := Diameter(g, Options{Workers: 1, Checkpoint: CheckpointOptions{ResumeFrom: path}})
+		if res.Resumed || res.ResumeError == "" {
+			t.Fatalf("Resumed=%v ResumeError=%q", res.Resumed, res.ResumeError)
+		}
+		if res.Diameter != want {
+			t.Fatalf("fallback diameter %d, want %d", res.Diameter, want)
+		}
+	})
+
+	t.Run("wrong-graph", func(t *testing.T) {
+		// Interrupt a solve of a DIFFERENT graph to get a genuine
+		// snapshot, then try to resume this one from it.
+		other := gen.Grid2D(120, 120)
+		dir := t.TempDir()
+		interruptMidMainLoop(t, other, dir)
+		path := filepath.Join(dir, checkpoint.FileName)
+		res := Diameter(g, Options{Workers: 1, Checkpoint: CheckpointOptions{ResumeFrom: path}})
+		if res.Resumed || res.ResumeError == "" {
+			t.Fatalf("Resumed=%v ResumeError=%q", res.Resumed, res.ResumeError)
+		}
+		if res.Diameter != want {
+			t.Fatalf("fallback diameter %d, want %d", res.Diameter, want)
+		}
+	})
+}
+
+func TestCheckpointCadenceAndCleanup(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	dir := t.TempDir()
+	res := Diameter(g, Options{
+		Workers:    1,
+		Checkpoint: CheckpointOptions{Dir: dir, Interval: 1},
+	})
+	if res.Cancelled {
+		t.Fatal("solve cancelled")
+	}
+	if res.Stats.Checkpoints == 0 {
+		t.Fatal("Interval=1 solve wrote no checkpoints")
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpoint.FileName)); !os.IsNotExist(err) {
+		t.Fatalf("completed solve left its snapshot: %v", err)
+	}
+}
+
+// TestCheckpointBarrierWritesInsideTraversal pins the BFS level barrier: a
+// tiny time cadence with NO count cadence must still produce snapshots,
+// which (on a high-diameter graph whose main-loop traversals have thousands
+// of levels) can only come from the per-level barrier or vertex boundaries.
+func TestCheckpointBarrierWritesInsideTraversal(t *testing.T) {
+	// A cycle has no degree-1 chains, so the main loop keeps real work,
+	// and each main-loop BFS has ~n/2 levels for the barrier to hit. Kept
+	// deliberately small: Every=1ns makes every barrier check write (and
+	// fsync) a snapshot, so the write count IS the workload.
+	g := gen.Cycle(200)
+	dir := t.TempDir()
+	res := Diameter(g, Options{
+		Workers:    1,
+		Checkpoint: CheckpointOptions{Dir: dir, Every: time.Nanosecond},
+	})
+	if res.Cancelled {
+		t.Fatal("solve cancelled")
+	}
+	if res.Diameter != 100 {
+		t.Fatalf("cycle diameter %d, want 100", res.Diameter)
+	}
+	// With Every=1ns each barrier check fires; far more levels than
+	// main-loop vertices exist, so barrier-origin writes dominate.
+	if res.Stats.Checkpoints <= res.Stats.Computed {
+		t.Fatalf("%d checkpoints for %d computed vertices — the level barrier never fired",
+			res.Stats.Checkpoints, res.Stats.Computed)
+	}
+}
+
+// TestResumeFromEveryPrefix replays a completed solve's snapshot stream:
+// solving with Interval=1 while keeping a copy of every snapshot written,
+// then resuming from each copy, must always reach the same diameter. This
+// is the strongest determinism check — every reachable checkpoint state is
+// a valid resume point.
+func TestResumeFromEveryPrefix(t *testing.T) {
+	g := gen.Grid2D(24, 24)
+	want := Diameter(g, Options{Workers: 1})
+	dir := t.TempDir()
+
+	first := interruptMidMainLoop(t, g, dir)
+	_ = first
+	path := filepath.Join(dir, checkpoint.FileName)
+	snap, err := checkpoint.Read(path)
+	if err != nil {
+		t.Skipf("no snapshot survived interruption: %v", err)
+	}
+
+	// Resume, interrupt again, resume again — chained restarts must stay
+	// exact. Bound the chain to avoid pathological timing loops.
+	for hop := 0; hop < 3; hop++ {
+		res := Diameter(g, Options{Workers: 1, Checkpoint: CheckpointOptions{
+			Dir: dir, Interval: 1, ResumeFrom: path,
+		}})
+		if !res.Resumed {
+			t.Fatalf("hop %d: resume rejected: %q", hop, res.ResumeError)
+		}
+		if res.Diameter != want.Diameter {
+			t.Fatalf("hop %d: diameter %d, want %d", hop, res.Diameter, want.Diameter)
+		}
+		// Re-write the snapshot for the next hop (the completed solve
+		// removed it); hop from the same state each time.
+		if err := checkpoint.Write(path, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

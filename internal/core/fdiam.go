@@ -100,6 +100,19 @@ type solver struct {
 	ctx        context.Context
 	cancelFlag atomic.Bool
 
+	// ck is the crash-safe checkpointing state (see checkpoint.go). A
+	// restored snapshot sets resumed/resumeNext and the accumulation
+	// bases that let Stats continue across the process boundary; a
+	// rejected restore records its reason in resumeErr and the run
+	// degrades to a fresh solve.
+	ck              ckptState
+	resumed         bool
+	resumeErr       string
+	resumeNext      int
+	baseTotal       time.Duration
+	baseDirSwitches int64
+	t0              time.Time
+
 	stats Stats
 }
 
@@ -133,6 +146,7 @@ func (s *solver) run() Result {
 	// the garbage collector.
 	defer s.e.Close()
 	tStart := time.Now()
+	s.t0 = tStart
 
 	// finish assembles the Result on every exit path — normal completion
 	// and every cancellation point. A cancelled run reports the best
@@ -145,16 +159,18 @@ func (s *solver) run() Result {
 			s.checkStateConsistency("final")
 			s.checkFinal(infinite, cancelled)
 		}
-		s.stats.DirSwitches = s.e.DirectionSwitches()
-		s.stats.TimeTotal = time.Since(tStart)
+		s.stats.DirSwitches = s.baseDirSwitches + s.e.DirectionSwitches()
+		s.stats.TimeTotal = s.baseTotal + time.Since(tStart)
 		return Result{
-			Diameter:  s.bound,
-			Infinite:  infinite,
-			TimedOut:  cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded),
-			Cancelled: cancelled,
-			WitnessA:  s.witnessA,
-			WitnessB:  s.witnessB,
-			Stats:     s.stats,
+			Diameter:    s.bound,
+			Infinite:    infinite,
+			TimedOut:    cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded),
+			Cancelled:   cancelled,
+			Resumed:     s.resumed,
+			ResumeError: s.resumeErr,
+			WitnessA:    s.witnessA,
+			WitnessB:    s.witnessB,
+			Stats:       s.stats,
 		}
 	}
 
@@ -215,93 +231,105 @@ func (s *solver) run() Result {
 		}
 	}
 
-	// Starting vertex: the maximum-degree vertex u (§3), or — for the
-	// "no 'u'" ablation — the first vertex with at least one edge.
-	if s.opt.StartAtVertexZero {
-		s.start = graph.Vertex(firstNonIsolated)
+	// Checkpointing and resume. A restored snapshot was captured at a
+	// main-loop boundary, so the 2-sweep, Winnow and Chain stages are
+	// already reflected in its state arrays and the run jumps straight
+	// to the main loop at the recorded resume index; a rejected restore
+	// (missing, corrupt, wrong graph) degrades to a fresh solve.
+	s.initCheckpoint()
+	var infinite bool
+	var tEcc time.Time
+	if s.tryResume() {
+		infinite = s.ck.infinite
 	} else {
-		s.start = s.g.MaxDegreeVertex()
-	}
-
-	// Initial diameter via 2-sweep (§4.1): ecc(u), then the eccentricity
-	// of a vertex w maximally far from u becomes the initial bound.
-	if tr != nil {
-		tr.SetStage("2-sweep")
-		tr.Begin("stage", "2-sweep", obs.I("start", int64(s.start)))
-	}
-	endSweep := func() {
-		if tr != nil {
-			tr.SetBound(int64(s.bound))
-			tr.End("stage", "2-sweep", obs.I("bound", int64(s.bound)))
-			s.observeProgress()
+		// Starting vertex: the maximum-degree vertex u (§3), or — for the
+		// "no 'u'" ablation — the first vertex with at least one edge.
+		if s.opt.StartAtVertexZero {
+			s.start = graph.Vertex(firstNonIsolated)
+		} else {
+			s.start = s.g.MaxDegreeVertex()
 		}
-	}
-	tEcc := time.Now()
-	uEcc := s.e.Eccentricity(s.start)
-	s.stats.EccBFS++
-	s.stats.TimeEcc += time.Since(tEcc)
-	if s.e.Aborted() {
-		// The completed levels of the aborted traversal still lower-bound
-		// ecc(u) and hence the diameter: the engine's current frontier is
-		// exactly uEcc levels from u. Nothing is recorded as exact.
-		s.bound = uEcc
-		s.witnessA, s.witnessB = s.start, s.e.LastFrontier()[0]
-		endSweep()
-		return finish(false)
-	}
-	reached := s.e.Reached()
-	// A BFS from start reaches exactly its component; together with the
-	// isolated-vertex count this decides connectivity with no extra pass.
-	infinite := n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
-	s.setComputed(s.start, uEcc)
-	w := s.e.LastFrontier()[0]
-	s.bound = uEcc
-	s.witnessA, s.witnessB = s.start, w
-	if w != s.start && !s.cancelled() {
+
+		// Initial diameter via 2-sweep (§4.1): ecc(u), then the eccentricity
+		// of a vertex w maximally far from u becomes the initial bound.
+		if tr != nil {
+			tr.SetStage("2-sweep")
+			tr.Begin("stage", "2-sweep", obs.I("start", int64(s.start)))
+		}
+		endSweep := func() {
+			if tr != nil {
+				tr.SetBound(int64(s.bound))
+				tr.End("stage", "2-sweep", obs.I("bound", int64(s.bound)))
+				s.observeProgress()
+			}
+		}
 		tEcc = time.Now()
-		wEcc := s.e.Eccentricity(w)
+		uEcc := s.e.Eccentricity(s.start)
 		s.stats.EccBFS++
 		s.stats.TimeEcc += time.Since(tEcc)
 		if s.e.Aborted() {
+			// The completed levels of the aborted traversal still lower-bound
+			// ecc(u) and hence the diameter: the engine's current frontier is
+			// exactly uEcc levels from u. Nothing is recorded as exact.
+			s.bound = uEcc
+			s.witnessA, s.witnessB = s.start, s.e.LastFrontier()[0]
+			endSweep()
+			return finish(false)
+		}
+		reached := s.e.Reached()
+		// A BFS from start reaches exactly its component; together with the
+		// isolated-vertex count this decides connectivity with no extra pass.
+		infinite = n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
+		s.setComputed(s.start, uEcc)
+		w := s.e.LastFrontier()[0]
+		s.bound = uEcc
+		s.witnessA, s.witnessB = s.start, w
+		if w != s.start && !s.cancelled() {
+			tEcc = time.Now()
+			wEcc := s.e.Eccentricity(w)
+			s.stats.EccBFS++
+			s.stats.TimeEcc += time.Since(tEcc)
+			if s.e.Aborted() {
+				if wEcc > s.bound {
+					s.bound = wEcc
+					s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
+				}
+				endSweep()
+				return finish(infinite)
+			}
+			s.setComputed(w, wEcc)
 			if wEcc > s.bound {
 				s.bound = wEcc
 				s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
 			}
-			endSweep()
-			return finish(infinite)
 		}
-		s.setComputed(w, wEcc)
-		if wEcc > s.bound {
-			s.bound = wEcc
-			s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
+		if tr != nil {
+			tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
 		}
-	}
-	if tr != nil {
-		tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
-	}
-	endSweep()
-	if s.cancelled() {
-		return finish(infinite)
-	}
-
-	// Winnow around the starting vertex (§4.2). Winnow subsumes what an
-	// Eliminate around u could remove (Theorem 3: ecc(u) ≥ bound/2, so
-	// the winnow radius ⌊bound/2⌋ is at least the eliminate radius
-	// bound − ecc(u)), which is why F-Diam never Eliminates around u
-	// (§4.5) — and why the "no Winnow" ablation leaves the initial
-	// pruning out entirely, as in the paper's Table 5.
-	if !s.opt.DisableWinnow {
-		s.winnow()
+		endSweep()
 		if s.cancelled() {
 			return finish(infinite)
 		}
-	}
 
-	// Chain Processing (§4.3).
-	if !s.opt.DisableChain {
-		s.chains()
-		if s.cancelled() {
-			return finish(infinite)
+		// Winnow around the starting vertex (§4.2). Winnow subsumes what an
+		// Eliminate around u could remove (Theorem 3: ecc(u) ≥ bound/2, so
+		// the winnow radius ⌊bound/2⌋ is at least the eliminate radius
+		// bound − ecc(u)), which is why F-Diam never Eliminates around u
+		// (§4.5) — and why the "no Winnow" ablation leaves the initial
+		// pruning out entirely, as in the paper's Table 5.
+		if !s.opt.DisableWinnow {
+			s.winnow()
+			if s.cancelled() {
+				return finish(infinite)
+			}
+		}
+
+		// Chain Processing (§4.3).
+		if !s.opt.DisableChain {
+			s.chains()
+			if s.cancelled() {
+				return finish(infinite)
+			}
 		}
 	}
 
@@ -310,7 +338,9 @@ func (s *solver) run() Result {
 		tr.SetStage("main-loop")
 		tr.Begin("stage", "main-loop")
 	}
-	for v := 0; v < n; v++ {
+	s.ck.infinite = infinite
+	completed := true
+	for v := s.resumeNext; v < n; v++ {
 		if s.ecc[v] != Active {
 			continue
 		}
@@ -318,10 +348,18 @@ func (s *solver) run() Result {
 			if tr != nil {
 				tr.Instant("run", "cancelled")
 			}
+			// Persist the interruption point so a later run resumes here
+			// instead of starting over (no-op without a checkpoint dir).
+			s.writeCheckpoint(int64(v))
+			completed = false
 			break
 		}
+		s.ck.loopV = v
+		s.ck.calls++
 		tEcc = time.Now()
+		s.ck.armed = true
 		vecc := s.e.Eccentricity(graph.Vertex(v))
+		s.ck.armed = false
 		s.stats.EccBFS++
 		s.stats.TimeEcc += time.Since(tEcc)
 		if s.e.Aborted() {
@@ -334,6 +372,8 @@ func (s *solver) run() Result {
 			if tr != nil {
 				tr.Instant("run", "cancelled")
 			}
+			s.writeCheckpoint(int64(v))
+			completed = false
 			break
 		}
 		s.setComputed(graph.Vertex(v), vecc)
@@ -365,6 +405,12 @@ func (s *solver) run() Result {
 			// done by setComputed).
 		}
 		s.observeProgress()
+		s.ckptAfterVertex(v + 1)
+	}
+	if completed {
+		// The solve is done; a leftover snapshot would only make a later
+		// run of the same directory resume into a finished state.
+		s.clearCheckpoint()
 	}
 	if tr != nil {
 		tr.End("stage", "main-loop", obs.I("computed", s.stats.Computed))

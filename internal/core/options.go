@@ -55,6 +55,11 @@ type Options struct {
 	// nil-guarded and the hot-path methods are allocation-free on nil.
 	Trace *obs.Run
 
+	// Checkpoint configures crash-safe snapshots of the solver state and
+	// resuming from one (see internal/checkpoint and DESIGN.md §10). The
+	// zero value disables both.
+	Checkpoint CheckpointOptions
+
 	// Timeout aborts the computation after the given wall-clock duration.
 	// Zero means no limit. It is implemented as a context.WithTimeout
 	// layered on the caller's context (DiameterCtx) and enforced at every
@@ -64,6 +69,37 @@ type Options struct {
 	// Result; Diameter then holds the best lower bound found so far,
 	// mirroring the paper's "T/O" entries.
 	Timeout time.Duration
+}
+
+// CheckpointOptions configures crash-safe checkpointing of a solve.
+// Snapshots capture the main loop's monotone state (bound, witnesses,
+// per-vertex state, winnow/chain extension state, counters) at points where
+// it is consistent — main-loop vertex boundaries and BFS level boundaries
+// inside main-loop eccentricity traversals — so a resumed run redoes at
+// most the one BFS that was in flight.
+type CheckpointOptions struct {
+	// Dir is the directory the snapshot file (checkpoint.FileName) is
+	// written into, atomically replacing the previous one. Empty disables
+	// checkpoint writes. The directory is created if missing.
+	Dir string
+
+	// Interval writes a snapshot every Interval main-loop eccentricity
+	// BFS calls. Zero or negative disables the count-based cadence.
+	Interval int
+
+	// Every writes a snapshot once this much wall-clock time has passed
+	// since the last write, checked at main-loop vertex boundaries and at
+	// BFS level boundaries inside main-loop traversals (a single huge
+	// traversal still checkpoints on schedule). Zero or negative disables
+	// the time-based cadence. When Dir is set and neither cadence is,
+	// Every defaults to 10s.
+	Every time.Duration
+
+	// ResumeFrom names a snapshot file to restore before solving. The
+	// snapshot must pass integrity checks and validate against the
+	// graph's content hash; any failure falls back to a fresh solve with
+	// the reason reported in Result.ResumeError. Empty starts fresh.
+	ResumeFrom string
 }
 
 // Serial returns options for the serial F-Diam variant.

@@ -46,6 +46,10 @@ type Stats struct {
 	// Computed counts vertices whose eccentricity was computed explicitly.
 	Computed int64 `json:"computed"`
 
+	// Checkpoints counts snapshots successfully written during this run
+	// (not persisted across resumes — it describes this process's work).
+	Checkpoints int64 `json:"checkpoints"`
+
 	// Stage timings (Figure 8).
 	TimeInit      time.Duration `json:"time_init_ns"` // setup: state arrays, degree-0 pass
 	TimeEcc       time.Duration `json:"time_ecc_ns"`  // eccentricity BFS traversals (incl. 2-sweep)
@@ -122,6 +126,14 @@ type Result struct {
 	// TimedOut reports that a deadline expired (see Cancelled); Diameter
 	// is then only a lower bound.
 	TimedOut bool `json:"timed_out"`
+	// Resumed reports that the run restored a validated checkpoint and
+	// continued from it instead of starting fresh; Stats then includes
+	// the counters accumulated before the snapshot. ResumeError carries
+	// the reason a requested resume was rejected (missing file, corrupt
+	// snapshot, graph mismatch) — the run then completed as a fresh
+	// solve, so the result is still exact.
+	Resumed     bool   `json:"resumed"`
+	ResumeError string `json:"resume_error,omitempty"`
 	// WitnessA and WitnessB are a vertex pair realizing the diameter:
 	// ecc(WitnessA) = Diameter and d(WitnessA, WitnessB) = Diameter.
 	// Both are NoVertex (MaxUint32) only for graphs with no edges.

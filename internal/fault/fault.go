@@ -1,0 +1,274 @@
+// Package fault is a deterministic, seed-driven failure-injection registry
+// for robustness testing. Production code declares named injection points
+// once at package level:
+//
+//	var failRead = fault.Register("graphio.binary_read")
+//
+// and consults them where an induced failure should surface:
+//
+//	if err := failRead.Err(); err != nil {
+//		return err
+//	}
+//
+// Points are inert until armed by a spec matrix (Configure, or the
+// FDIAM_FAULTS environment variable via ConfigureFromEnv):
+//
+//	FDIAM_FAULTS="graphio.binary_read:times=2;checkpoint.torn_write:after=1:every=3"
+//
+// Each point's schedule is a pure function of its hit counter and the
+// configured seed — two runs with the same spec inject at exactly the same
+// hits, which is what makes chaos failures reproducible. The whole package
+// is stdlib-only and zero-cost when disarmed: a disarmed Hit() is one
+// package-level atomic load (the global arm count) and nothing else, so
+// injection points may sit next to //fdiam:hotpath code paths (though never
+// inside per-edge kernels — points belong at I/O and syscall granularity).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable ConfigureFromEnv reads the spec
+// matrix from.
+const EnvVar = "FDIAM_FAULTS"
+
+// ErrInjected is the sentinel all injected errors wrap; consumers match it
+// with errors.Is to distinguish induced failures from organic ones (the
+// serve retry path treats injected staged-read failures as transient).
+var ErrInjected = errors.New("fault: injected failure")
+
+// armedCount gates every Hit() globally: zero means no point anywhere is
+// armed and Hit returns immediately. It is the only cost injection points
+// impose on production runs.
+var armedCount atomic.Int64
+
+// registry holds every Register'd point by name. Points are created at
+// package init time in practice, but the mutex makes Register safe from
+// tests that create points dynamically.
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Point)
+)
+
+// Point is one named injection site. The zero schedule (disarmed) never
+// fires. All methods are safe for concurrent use.
+type Point struct {
+	name string
+
+	// armed flips when a Configure spec names this point; checked after
+	// the global gate so disarmed points in an armed process stay cheap.
+	armed atomic.Bool
+
+	// hits counts Hit() calls since the last Configure, armed or not while
+	// armed (the schedule below is a function of this counter).
+	hits atomic.Int64
+
+	// Schedule, immutable between Configure calls (guarded by regMu on
+	// write; reads race benignly only on re-Configure, which tests
+	// serialize): fire on hits h (1-based) with after < h, while
+	// fired < times, when (h-after-1)%every == 0, and — when prob < 1 —
+	// when the seeded hash of h falls below prob.
+	after int64
+	times int64
+	every int64
+	prob  float64
+	seed  uint64
+
+	fired atomic.Int64
+}
+
+// Register returns the injection point named name, creating it disarmed on
+// first use. Repeated registration under one name returns the same point.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fired returns how many times the point has injected since it was armed.
+func (p *Point) Fired() int64 { return p.fired.Load() }
+
+// Hit reports whether the point injects a failure at this call. Disarmed
+// points return false after a single atomic load of the global gate.
+func (p *Point) Hit() bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	if !p.armed.Load() {
+		return false
+	}
+	h := p.hits.Add(1)
+	if h <= p.after {
+		return false
+	}
+	if p.times > 0 && p.fired.Load() >= p.times {
+		return false
+	}
+	if p.every > 1 && (h-p.after-1)%p.every != 0 {
+		return false
+	}
+	if p.prob < 1 {
+		// splitmix64 of (seed, hit) — deterministic per (spec, hit index),
+		// independent of goroutine interleaving.
+		if float64(splitmix64(p.seed+uint64(h))>>11)/float64(1<<53) >= p.prob {
+			return false
+		}
+	}
+	p.fired.Add(1)
+	return true
+}
+
+// Err returns a wrapped ErrInjected when the point fires, nil otherwise.
+func (p *Point) Err() error {
+	if !p.Hit() {
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, p.name)
+}
+
+// splitmix64 is the standard 64-bit mix (Steele et al.), enough PRNG for a
+// reproducible injection schedule.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Configure arms the points named by spec and disarms every other point.
+// The spec is a semicolon-separated matrix of point schedules:
+//
+//	name[:key=value]...[;name[:key=value]...]...
+//
+// Keys:
+//
+//	times=N  fire at most N times (default unlimited)
+//	after=N  skip the first N hits (default 0)
+//	every=N  of the eligible hits, fire every Nth (default 1 = all)
+//	prob=P   fire eligible hits with probability P, decided by a
+//	         deterministic seeded hash of the hit index (default 1)
+//	seed=S   seed for prob's hash (default 1)
+//
+// An empty spec disarms everything. Points named in the spec need not be
+// registered yet; arming is applied when Register later creates them is NOT
+// supported — unknown names are an error, which catches typos in chaos
+// matrices before they silently test nothing.
+func Configure(spec string) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	// Disarm everything first so Configure replaces, never accumulates.
+	for _, p := range registry {
+		if p.armed.CompareAndSwap(true, false) {
+			armedCount.Add(-1)
+		}
+		p.hits.Store(0)
+		p.fired.Store(0)
+	}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		name := strings.TrimSpace(parts[0])
+		p, ok := registry[name]
+		if !ok {
+			return fmt.Errorf("fault: unknown injection point %q (known: %s)", name, strings.Join(names(), ", "))
+		}
+		p.after, p.times, p.every, p.prob, p.seed = 0, 0, 1, 1, 1
+		for _, kv := range parts[1:] {
+			key, val, found := strings.Cut(kv, "=")
+			if !found {
+				return fmt.Errorf("fault: %s: bad parameter %q (want key=value)", name, kv)
+			}
+			switch key {
+			case "times", "after", "every":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return fmt.Errorf("fault: %s: bad %s=%q", name, key, val)
+				}
+				switch key {
+				case "times":
+					p.times = n
+				case "after":
+					p.after = n
+				case "every":
+					if n < 1 {
+						return fmt.Errorf("fault: %s: every must be >= 1", name)
+					}
+					p.every = n
+				}
+			case "prob":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 || f > 1 {
+					return fmt.Errorf("fault: %s: bad prob=%q (want 0..1)", name, val)
+				}
+				p.prob = f
+			case "seed":
+				s, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return fmt.Errorf("fault: %s: bad seed=%q", name, val)
+				}
+				p.seed = s
+			default:
+				return fmt.Errorf("fault: %s: unknown parameter %q", name, key)
+			}
+		}
+		if !p.armed.Swap(true) {
+			armedCount.Add(1)
+		}
+	}
+	return nil
+}
+
+// ConfigureFromEnv arms points from the FDIAM_FAULTS environment variable.
+// An unset or empty variable disarms everything and returns nil.
+func ConfigureFromEnv() error {
+	return Configure(os.Getenv(EnvVar))
+}
+
+// Reset disarms every point — test cleanup.
+func Reset() { _ = Configure("") }
+
+// Active returns the names of all armed points, sorted.
+func Active() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []string
+	for name, p := range registry {
+		if p.armed.Load() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// names returns every registered point name, sorted. Caller holds regMu.
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

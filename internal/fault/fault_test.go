@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// point returns a fresh uniquely named point for one test.
+func point(t *testing.T, name string) *Point {
+	t.Helper()
+	t.Cleanup(Reset)
+	return Register(t.Name() + "/" + name)
+}
+
+func TestDisarmedPointNeverFires(t *testing.T) {
+	p := point(t, "idle")
+	for i := 0; i < 1000; i++ {
+		if p.Hit() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("disarmed Err = %v", err)
+	}
+}
+
+func TestTimesAndAfter(t *testing.T) {
+	p := point(t, "sched")
+	if err := Configure(p.Name() + ":after=2:times=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if p.Hit() {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 4, 5}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+	if p.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", p.Fired())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	p := point(t, "every")
+	if err := Configure(p.Name() + ":every=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 9; i++ {
+		if p.Hit() {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{1, 4, 7}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestProbDeterministic pins the seed-driven schedule: the same spec fires
+// at exactly the same hit indices across runs.
+func TestProbDeterministic(t *testing.T) {
+	p := point(t, "prob")
+	spec := p.Name() + ":prob=0.5:seed=42"
+	run := func() []int {
+		if err := Configure(spec); err != nil {
+			t.Fatal(err)
+		}
+		var fires []int
+		for i := 1; i <= 64; i++ {
+			if p.Hit() {
+				fires = append(fires, i)
+			}
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs fired differently: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two identical runs fired differently: %v vs %v", a, b)
+		}
+	}
+	if len(a) < 16 || len(a) > 48 {
+		t.Fatalf("prob=0.5 over 64 hits fired %d times, schedule looks degenerate", len(a))
+	}
+}
+
+func TestErrWrapsSentinel(t *testing.T) {
+	p := point(t, "err")
+	if err := Configure(p.Name()); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Err()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err() = %v, want ErrInjected", err)
+	}
+}
+
+func TestConfigureReplacesAndValidates(t *testing.T) {
+	a := point(t, "a")
+	b := point(t, "b")
+	if err := Configure(a.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Configure(b.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hit() {
+		t.Fatal("point a stayed armed after a spec that no longer names it")
+	}
+	if !b.Hit() {
+		t.Fatal("point b not armed")
+	}
+	got := Active()
+	if len(got) != 1 || got[0] != b.Name() {
+		t.Fatalf("Active() = %v, want [%s]", got, b.Name())
+	}
+	if err := Configure("no/such/point"); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	if err := Configure(b.Name() + ":bogus=1"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if err := Configure(b.Name() + ":prob=2"); err == nil {
+		t.Fatal("out-of-range prob accepted")
+	}
+}
+
+// TestConcurrentHits exercises the counters under the race detector and
+// checks the times cap holds even with concurrent callers.
+func TestConcurrentHits(t *testing.T) {
+	p := point(t, "conc")
+	if err := Configure(p.Name() + ":times=5"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	counts := make(chan int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 1000; i++ {
+				if p.Hit() {
+					local++
+				}
+			}
+			counts <- local
+		}()
+	}
+	wg.Wait()
+	close(counts)
+	total := 0
+	for c := range counts {
+		total += c
+	}
+	// The cap is checked before fired is incremented, so a small overshoot
+	// under contention is possible by design; it must stay bounded by the
+	// worker count.
+	if total < 5 || total > 5+8 {
+		t.Fatalf("times=5 fired %d times across workers", total)
+	}
+}

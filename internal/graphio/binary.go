@@ -44,19 +44,24 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadBinary deserializes a graph written by WriteBinary, validating the
-// CSR structure.
+// CSR structure. When the input's size is knowable (in-memory readers,
+// regular files) the header's declared counts are checked against it BEFORE
+// the offset/target arrays are allocated — the format's fixed layout makes
+// the requirement exact, so a 24-byte header claiming 2²⁶ vertices is
+// rejected without allocating its half-gigabyte offset array.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	size, sizeKnown := inputSize(r)
+	br := bufio.NewReaderSize(faultWrap(r), 1<<20)
 	magic := make([]byte, 8)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graphio: binary: %v", err)
+		return nil, fmt.Errorf("graphio: binary: %w", err)
 	}
 	if string(magic) != binaryMagic {
 		return nil, fmt.Errorf("graphio: binary: bad magic %q", magic)
 	}
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("graphio: binary: %v", err)
+		return nil, fmt.Errorf("graphio: binary: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(hdr[0:8])
 	arcs := binary.LittleEndian.Uint64(hdr[8:16])
@@ -66,10 +71,18 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	if arcs > 64*uint64(MaxVertices) {
 		return nil, fmt.Errorf("graphio: binary: implausible arc count %d", arcs)
 	}
+	if sizeKnown {
+		// Exact requirement: magic + header + offsets + targets.
+		need := int64(8+16) + 8*int64(n+1) + 4*int64(arcs)
+		if size < need {
+			return nil, fmt.Errorf("graphio: binary: header declares %d vertices / %d arcs needing %d bytes, input has %d (truncated or hostile header)",
+				n, arcs, need, size)
+		}
+	}
 	offsets := make([]int64, n+1)
 	raw := make([]byte, 8*(n+1))
 	if _, err := io.ReadFull(br, raw); err != nil {
-		return nil, fmt.Errorf("graphio: binary: offsets: %v", err)
+		return nil, fmt.Errorf("graphio: binary: offsets: %w", err)
 	}
 	for i := range offsets {
 		offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
@@ -77,7 +90,7 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	targets := make([]graph.Vertex, arcs)
 	raw = make([]byte, 4*arcs)
 	if _, err := io.ReadFull(br, raw); err != nil {
-		return nil, fmt.Errorf("graphio: binary: targets: %v", err)
+		return nil, fmt.Errorf("graphio: binary: targets: %w", err)
 	}
 	for i := range targets {
 		targets[i] = binary.LittleEndian.Uint32(raw[4*i:])

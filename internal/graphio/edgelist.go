@@ -36,7 +36,7 @@ func checkVertexCount(n int64, what string) error {
 // extra columns after the first two are ignored.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	b := graph.NewBuilder(0)
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(faultWrap(r))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
 	for sc.Scan() {
@@ -66,7 +66,7 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		b.AddEdge(graph.Vertex(a), graph.Vertex(c))
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graphio: edge list: %v", err)
+		return nil, fmt.Errorf("graphio: edge list: %w", err)
 	}
 	return b.Build(), nil
 }

@@ -15,6 +15,12 @@ func FuzzReadAuto(f *testing.F) {
 	f.Add([]byte("FDIAMG01garbage"))
 	f.Add([]byte("# only comments\n"))
 	f.Add([]byte("p sp 1000000000 1\n"))
+	// Truncated / hostile-header seeds: declared counts the byte stream
+	// cannot possibly hold, which must be rejected before allocation.
+	f.Add([]byte("FDIAMG01\x00\x00\x00\x04\x00\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x00"))
+	f.Add([]byte("FDIAMG01\x10\x00\x00\x00\x00\x00\x00\x00\x20\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("p sp 5 99999999\na 1 2 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 88888888\n1 2\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
 			return
@@ -35,6 +41,8 @@ func FuzzReadMETIS(f *testing.F) {
 	f.Add("2 1\n2\n1\n")
 	f.Add("% c\n3 2 011 1\n7 2 5\n4 1 5 3 9\n6 2 9\n")
 	f.Add("0 0\n")
+	f.Add("9999999 1\n2\n1\n")
+	f.Add("3 7777777\n2\n1 3\n2\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		if len(data) > 1<<16 {
 			return

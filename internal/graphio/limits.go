@@ -1,0 +1,78 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"fdiam/internal/fault"
+)
+
+// faultShortRead simulates a truncated file or an interrupted transfer: the
+// read that fires fails, and so does every read after it — the stream is cut
+// at whatever offset the schedule reached. Combine with after=N to let N
+// buffer fills succeed first. Armed via FDIAM_FAULTS="graphio.short_read:..."
+// — see the fault package for the schedule grammar.
+var faultShortRead = fault.Register("graphio.short_read")
+
+// inputSize reports how many bytes remain in r when that is knowable without
+// consuming it: in-memory readers expose Len(), regular files expose
+// Stat().Size() minus the current offset. Pipes, sockets and opaque wrappers
+// report unknown, which skips the header-vs-size validation (the MaxVertices
+// cap still applies).
+func inputSize(r io.Reader) (int64, bool) {
+	switch t := r.(type) {
+	case interface{ Len() int }: // bytes.Reader, strings.Reader, bytes.Buffer
+		return int64(t.Len()), true
+	case *os.File:
+		fi, err := t.Stat()
+		if err != nil || !fi.Mode().IsRegular() {
+			return 0, false
+		}
+		pos, err := t.Seek(0, io.SeekCurrent)
+		if err != nil || pos < 0 || pos > fi.Size() {
+			return 0, false
+		}
+		return fi.Size() - pos, true
+	}
+	return 0, false
+}
+
+// checkDeclared rejects a header that declares more elements than the input
+// can physically hold: each element occupies at least minBytes bytes of
+// input, so count > size/minBytes proves the header lies before a single
+// element-sized allocation happens. No-op when the input size is unknown.
+func checkDeclared(count, minBytes, size int64, known bool, what string) error {
+	if !known || count <= 0 {
+		return nil
+	}
+	if count > size/minBytes {
+		return fmt.Errorf("graphio: header declares %d %s but only %d bytes of input remain (truncated or hostile header)",
+			count, what, size)
+	}
+	return nil
+}
+
+// faultReader threads the graphio.short_read injection point into a reader.
+// Once the point fires the stream is dead — all later reads fail too, the
+// way a truncated file keeps failing however often it is retried.
+type faultReader struct {
+	r    io.Reader
+	dead bool
+}
+
+// faultWrap wraps r for injection. Reads pass through a bufio layer in every
+// caller, so the disarmed cost (one atomic load per Read) is paid per buffer
+// fill, not per byte.
+func faultWrap(r io.Reader) io.Reader { return &faultReader{r: r} }
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if f.dead {
+		return 0, fmt.Errorf("graphio: %w: stream truncated by short read", fault.ErrInjected)
+	}
+	if faultShortRead.Hit() {
+		f.dead = true
+		return 0, fmt.Errorf("graphio: %w: stream truncated by short read", fault.ErrInjected)
+	}
+	return f.r.Read(p)
+}

@@ -1,0 +1,170 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdiam/internal/fault"
+	"fdiam/internal/gen"
+)
+
+// hostileBinaryHeader builds a valid magic+header declaring n vertices and
+// arcs arcs, followed by only body bytes of zeros — far less than the
+// declared payload.
+func hostileBinaryHeader(n, arcs uint64, body int) []byte {
+	buf := make([]byte, 0, 24+body)
+	buf = append(buf, binaryMagic...)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], n)
+	binary.LittleEndian.PutUint64(hdr[8:16], arcs)
+	buf = append(buf, hdr[:]...)
+	return append(buf, make([]byte, body)...)
+}
+
+func TestBinaryHeaderVsSizeRejectedBeforeAlloc(t *testing.T) {
+	// A 24-byte header claiming MaxVertices vertices would allocate an
+	// 0.5 GiB offset array before hitting EOF; the size check must reject
+	// it first. If the check is broken this test fails on the error being
+	// nil (or times out allocating), not on a heuristic.
+	data := hostileBinaryHeader(uint64(MaxVertices), 4, 0)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("hostile vertex count accepted")
+	} else if !strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("rejected for the wrong reason: %v", err)
+	}
+
+	// Hostile arc count with a plausible vertex count.
+	data = hostileBinaryHeader(4, uint64(MaxVertices), 5*8)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("hostile arc count accepted")
+	} else if !strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("rejected for the wrong reason: %v", err)
+	}
+}
+
+func TestBinarySizeCheckAppliesToFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hostile.fg")
+	if err := os.WriteFile(path, hostileBinaryHeader(1<<20, 1<<20, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadBinary(f); err == nil || !strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("want size rejection for file input, got %v", err)
+	}
+}
+
+// opaque hides Len()/Stat() so inputSize reports unknown.
+type opaque struct{ r io.Reader }
+
+func (o opaque) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestBinaryUnknownSizeStillReads(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(opaque{&buf})
+	if err != nil {
+		t.Fatalf("opaque reader rejected: %v", err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumArcs() != g.NumArcs() {
+		t.Fatal("opaque read changed the graph")
+	}
+}
+
+func TestMETISHeaderVsSize(t *testing.T) {
+	if _, err := ReadMETIS(strings.NewReader("9999999 1\n2\n1\n")); err == nil ||
+		!strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("hostile METIS vertex count: %v", err)
+	}
+	if _, err := ReadMETIS(strings.NewReader("3 7777777\n2\n1 3\n2\n")); err == nil ||
+		!strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("hostile METIS edge count: %v", err)
+	}
+	// Legitimate file with isolated vertices keeps parsing.
+	g, err := ReadMETIS(strings.NewReader("4 1\n2\n1\n\n\n"))
+	if err != nil {
+		t.Fatalf("legit METIS rejected: %v", err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("got %d vertices, want 4", g.NumVertices())
+	}
+}
+
+func TestDIMACSArcCountVsSize(t *testing.T) {
+	if _, err := ReadDIMACS(strings.NewReader("p sp 5 99999999\na 1 2 1\n")); err == nil ||
+		!strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("hostile DIMACS arc count: %v", err)
+	}
+	// Sparse-but-legit: many isolated vertices, one edge. The vertex count
+	// intentionally exceeds the byte count; only arcs are size-checked.
+	g, err := ReadDIMACS(strings.NewReader("p sp 100 2\na 1 2 1\na 2 1 1\n"))
+	if err != nil {
+		t.Fatalf("sparse DIMACS rejected: %v", err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("got %d vertices, want 100", g.NumVertices())
+	}
+}
+
+func TestMatrixMarketEntryCountVsSize(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 88888888\n1 2\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil ||
+		!strings.Contains(err.Error(), "truncated or hostile") {
+		t.Fatalf("hostile nnz: %v", err)
+	}
+}
+
+func TestShortReadFaultInjection(t *testing.T) {
+	defer fault.Reset()
+	g := gen.Grid2D(20, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if err := fault.Configure("graphio.short_read:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBinary(bytes.NewReader(data))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want injected short read, got %v", err)
+	}
+
+	// The point fired its once; the next read of the same bytes succeeds.
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("read after fault drained: %v", err)
+	}
+
+	fault.Reset()
+	if _, err := ReadAuto(data); err != nil {
+		t.Fatalf("disarmed read: %v", err)
+	}
+}
+
+func TestShortReadFaultInjectionTextFormats(t *testing.T) {
+	defer fault.Reset()
+	// The scanner surfaces the injected error through sc.Err(); every text
+	// reader must propagate it with its chain intact.
+	big := strings.Repeat("# padding line to force a second buffer fill\n", 4)
+	in := big + "0 1\n1 2\n"
+	if err := fault.Configure("graphio.short_read:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadEdgeList(strings.NewReader(in))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("edge list: want injected error, got %v", err)
+	}
+}

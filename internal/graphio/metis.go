@@ -23,7 +23,8 @@ import (
 // discarded (this module's graphs are unweighted). Each edge normally
 // appears in both endpoint lines; the builder deduplicates.
 func ReadMETIS(r io.Reader) (*graph.Graph, error) {
-	sc := bufio.NewScanner(r)
+	size, sizeKnown := inputSize(r)
+	sc := bufio.NewScanner(faultWrap(r))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
 	// Header.
@@ -49,8 +50,19 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 		if err := checkVertexCount(int64(n), "vertex count"); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		if _, err := strconv.Atoi(fields[1]); err != nil {
+		m, err := strconv.Atoi(fields[1])
+		if err != nil {
 			return nil, fmt.Errorf("graphio: metis line %d: %v", lineNo, err)
+		}
+		// Every vertex owns an adjacency line (>= 1 byte for its newline)
+		// and every declared edge at least one 1-based id plus separator
+		// (>= 2 bytes), so either count exceeding the input size proves the
+		// header hostile before NewBuilder's O(n) allocation.
+		if err := checkDeclared(int64(n), 1, size, sizeKnown, "vertices"); err != nil {
+			return nil, err
+		}
+		if err := checkDeclared(int64(m), 2, size, sizeKnown, "edges"); err != nil {
+			return nil, err
 		}
 		if len(fields) >= 3 {
 			f := fields[2]

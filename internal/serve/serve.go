@@ -12,16 +12,37 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"fdiam/internal/checkpoint"
 	"fdiam/internal/core"
+	"fdiam/internal/fault"
 	"fdiam/internal/graph"
 	"fdiam/internal/graphio"
 	"fdiam/internal/obs"
+)
+
+// Injection points for chaos testing (inert unless armed via FDIAM_FAULTS;
+// see the fault package):
+//
+//	serve.handler_panic  panic inside the request handler — exercises the
+//	                     recovery middleware's 500 path
+//	serve.slow_stage     delay a staged-file read — exercises timeouts
+//	serve.staged_read    fail a staged-file read — exercises the retry loop
+//	serve.cache_write    drop a cache publication — the response must still
+//	                     be served, only the caches go cold
+var (
+	faultHandlerPanic = fault.Register("serve.handler_panic")
+	faultSlowStage    = fault.Register("serve.slow_stage")
+	faultStagedRead   = fault.Register("serve.staged_read")
+	faultCacheWrite   = fault.Register("serve.cache_write")
 )
 
 // Config sizes one Server. The zero value is usable: every field falls
@@ -64,6 +85,18 @@ type Config struct {
 	// directory is rejected by the kernel-backed API, not by string
 	// checks.
 	GraphDir string
+
+	// CheckpointDir, when set, makes long solves crash-safe: every
+	// admitted solve persists periodic snapshots under
+	// <CheckpointDir>/<graph-sha256>/ next to a copy of the serialized
+	// graph, and ResumeOrphans finishes whatever a crashed process left
+	// behind. A completed solve retires its directory. Default off.
+	CheckpointDir string
+
+	// CheckpointEvery is the snapshot cadence for checkpointed solves
+	// (time-based, honored at main-loop and BFS-level boundaries). Zero
+	// uses the solver's default (10s).
+	CheckpointEvery time.Duration
 
 	// Workers is passed to the solver (0 = all CPUs). One solve already
 	// parallelizes internally; deployments that prefer request throughput
@@ -115,16 +148,18 @@ type Server struct {
 	results *resultCache
 	mux     *http.ServeMux
 
-	mRequests    *obs.Counter
-	mRejected    *obs.Counter
-	mGraphHits   *obs.Counter
-	mGraphMisses *obs.Counter
-	mResultHits  *obs.Counter
-	mPanics      *obs.Counter
-	mCancelled   *obs.Counter
-	gInflight    *obs.Gauge
-	gQueued      *obs.Gauge
-	gGraphBytes  *obs.Gauge
+	mRequests      *obs.Counter
+	mRejected      *obs.Counter
+	mGraphHits     *obs.Counter
+	mGraphMisses   *obs.Counter
+	mResultHits    *obs.Counter
+	mPanics        *obs.Counter
+	mCancelled     *obs.Counter
+	mStagedRetries *obs.Counter
+	mResumes       *obs.Counter
+	gInflight      *obs.Gauge
+	gQueued        *obs.Gauge
+	gGraphBytes    *obs.Gauge
 }
 
 // New builds a Server from cfg. It fails only when cfg.GraphDir is set
@@ -149,6 +184,14 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.graphDir = root
 	}
+	if cfg.CheckpointDir != "" {
+		// Durability was explicitly requested; an uncreatable directory is
+		// a configuration error, not something to silently run without.
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
 	reg := cfg.Registry
 	s.mRequests = reg.Counter("fdiamd_requests_total", "diameter requests received")
 	s.mRejected = reg.Counter("fdiamd_rejected_total", "requests rejected because the admission queue was full")
@@ -157,6 +200,8 @@ func New(cfg Config) (*Server, error) {
 	s.mResultHits = reg.Counter("fdiamd_result_cache_hits_total", "requests answered from the result cache without solving")
 	s.mPanics = reg.Counter("fdiamd_panics_total", "handler panics recovered into 500 responses")
 	s.mCancelled = reg.Counter("fdiamd_solves_cancelled_total", "solves that returned cancelled (deadline, disconnect or shutdown)")
+	s.mStagedRetries = reg.Counter("fdiamd_staged_read_retries_total", "transient staged-file read failures that were retried")
+	s.mResumes = reg.Counter("fdiamd_resumes_total", "orphaned solves resumed from a checkpoint snapshot")
 	s.gInflight = reg.Gauge("fdiamd_inflight_solves", "solves currently running")
 	s.gQueued = reg.Gauge("fdiamd_queued_solves", "solves waiting for a slot")
 	s.gGraphBytes = reg.Gauge("fdiamd_graph_cache_bytes", "resident bytes in the parsed-graph cache")
@@ -225,6 +270,7 @@ type response struct {
 	Infinite       bool        `json:"infinite"`
 	TimedOut       bool        `json:"timed_out"`
 	Cancelled      bool        `json:"cancelled"`
+	Resumed        bool        `json:"resumed,omitempty"`
 	WitnessA       int64       `json:"witness_a"`
 	WitnessB       int64       `json:"witness_b"`
 	ElapsedNS      int64       `json:"elapsed_ns"`
@@ -241,6 +287,9 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mRequests.Inc()
+	if faultHandlerPanic.Hit() {
+		panic("injected handler panic (serve.handler_panic)")
+	}
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
@@ -275,6 +324,10 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		g = parsed
+	}
+	var ck core.CheckpointOptions
+	if s.cfg.CheckpointDir != "" {
+		ck = s.checkpointOptions(key, data)
 	}
 	data = nil // the CSR form is all that is retained past this point
 
@@ -314,24 +367,33 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 
 	s.gInflight.Add(1)
 	start := time.Now()
-	res := core.DiameterCtx(ctx, g, core.Options{Workers: s.cfg.Workers, Timeout: timeout})
+	res := core.DiameterCtx(ctx, g, core.Options{Workers: s.cfg.Workers, Timeout: timeout, Checkpoint: ck})
 	elapsed := time.Since(start)
 	s.gInflight.Add(-1)
 
 	if res.Cancelled {
+		// A cancelled checkpointed solve deliberately leaves its directory
+		// behind: the snapshot inside is exactly what ResumeOrphans (or a
+		// retrying client) continues from.
 		s.mCancelled.Inc()
 	} else {
-		// Populate both caches only on completed runs; add() ignores
-		// cancelled results anyway, but skipping the graph insert too
-		// keeps a drain from churning the LRU.
-		if hit {
-			s.mGraphHits.Inc()
-		} else {
-			s.mGraphMisses.Inc()
-			s.graphs.add(key, g)
-			s.gGraphBytes.Set(s.graphs.bytes())
+		if res.Resumed {
+			s.mResumes.Inc()
 		}
-		s.results.add(key, res)
+		if faultCacheWrite.Hit() {
+			// Injected cache-write failure: the result is still served,
+			// only the caches stay cold for the next request.
+		} else {
+			if hit {
+				s.mGraphHits.Inc()
+			} else {
+				s.mGraphMisses.Inc()
+				s.graphs.add(key, g)
+				s.gGraphBytes.Set(s.graphs.bytes())
+			}
+			s.results.add(key, res)
+		}
+		s.clearCheckpointDir(key)
 	}
 	s.writeResult(w, key, res, elapsed, hit, false)
 }
@@ -357,6 +419,23 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 	return timeout, nil
 }
 
+// Staged-read retry policy: transient failures (an injected fault, or an
+// interrupted syscall on a network filesystem) back off exponentially with
+// jitter so a briefly unhappy volume doesn't turn every request into a 500.
+const (
+	stagedReadAttempts  = 4
+	stagedReadBaseDelay = 5 * time.Millisecond
+	stagedReadMaxDelay  = 80 * time.Millisecond
+)
+
+// transientStagedErr reports whether a staged-file read failure is worth
+// retrying: injected faults (by definition transient chaos) and interrupted
+// syscalls. Missing files and permission errors are not — retrying cannot
+// fix them.
+func transientStagedErr(err error) bool {
+	return errors.Is(err, fault.ErrInjected) || errors.Is(err, syscall.EINTR)
+}
+
 // requestGraphBytes returns the serialized graph for the request: the
 // uploaded body, or — when a graph directory is configured — the
 // pre-staged file named by the `path` parameter.
@@ -365,23 +444,7 @@ func (s *Server) requestGraphBytes(w http.ResponseWriter, r *http.Request) ([]by
 		if s.graphDir == nil {
 			return nil, http.StatusBadRequest, errors.New("path requests disabled: no -graphs directory configured")
 		}
-		f, err := s.graphDir.Open(name)
-		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				return nil, http.StatusNotFound, fmt.Errorf("path: %s not found", name)
-			}
-			return nil, http.StatusBadRequest, fmt.Errorf("path: %v", err)
-		}
-		defer f.Close()
-		data, err := io.ReadAll(io.LimitReader(f, s.cfg.MaxUploadBytes+1))
-		if err != nil {
-			return nil, http.StatusInternalServerError, fmt.Errorf("path: %v", err)
-		}
-		if int64(len(data)) > s.cfg.MaxUploadBytes {
-			return nil, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("graph file exceeds %d bytes", s.cfg.MaxUploadBytes)
-		}
-		return data, 0, nil
+		return s.readStaged(name)
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	data, err := io.ReadAll(body)
@@ -399,6 +462,175 @@ func (s *Server) requestGraphBytes(w http.ResponseWriter, r *http.Request) ([]by
 	return data, 0, nil
 }
 
+// readStaged reads a pre-staged graph file, retrying transient failures
+// with capped exponential backoff plus jitter. Non-transient failures and
+// exhausted retries return the last error.
+func (s *Server) readStaged(name string) ([]byte, int, error) {
+	delay := stagedReadBaseDelay
+	for attempt := 1; ; attempt++ {
+		data, status, err := s.readStagedOnce(name)
+		if err == nil || !transientStagedErr(err) || attempt == stagedReadAttempts {
+			return data, status, err
+		}
+		s.mStagedRetries.Inc()
+		// Full jitter on the current backoff step: the standard cure for
+		// retry stampedes when many requests hit the same bad volume.
+		time.Sleep(delay/2 + rand.N(delay/2))
+		delay *= 2
+		if delay > stagedReadMaxDelay {
+			delay = stagedReadMaxDelay
+		}
+	}
+}
+
+func (s *Server) readStagedOnce(name string) ([]byte, int, error) {
+	f, err := s.graphDir.Open(name)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, http.StatusNotFound, fmt.Errorf("path: %s not found", name)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("path: %v", err)
+	}
+	defer f.Close()
+	if faultSlowStage.Hit() {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ferr := faultStagedRead.Err(); ferr != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("path: %w", ferr)
+	}
+	data, err := io.ReadAll(io.LimitReader(f, s.cfg.MaxUploadBytes+1))
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("path: %w", err)
+	}
+	if int64(len(data)) > s.cfg.MaxUploadBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph file exceeds %d bytes", s.cfg.MaxUploadBytes)
+	}
+	return data, 0, nil
+}
+
+// graphFileName is the serialized-graph copy kept beside state.ckpt in a
+// per-graph checkpoint directory, so a restarted process can re-parse the
+// input without the original client.
+const graphFileName = "graph"
+
+// checkpointOptions prepares <CheckpointDir>/<key>/ for one solve: the raw
+// graph bytes are persisted beside the future snapshot (write-then-rename,
+// so a crash mid-write never leaves a torn copy), and an existing snapshot
+// from a previous process is selected for resume. Failures disable
+// checkpointing for this solve rather than failing it.
+func (s *Server) checkpointOptions(key string, data []byte) core.CheckpointOptions {
+	dir := filepath.Join(s.cfg.CheckpointDir, key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return core.CheckpointOptions{}
+	}
+	gpath := filepath.Join(dir, graphFileName)
+	if _, err := os.Stat(gpath); err != nil {
+		tmp := gpath + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return core.CheckpointOptions{}
+		}
+		if err := os.Rename(tmp, gpath); err != nil {
+			return core.CheckpointOptions{}
+		}
+	}
+	ck := core.CheckpointOptions{Dir: dir, Every: s.cfg.CheckpointEvery}
+	if snap := filepath.Join(dir, checkpoint.FileName); fileExists(snap) {
+		ck.ResumeFrom = snap
+	}
+	return ck
+}
+
+// clearCheckpointDir retires a completed solve's checkpoint directory (the
+// solver already removed state.ckpt; the graph copy and the directory go
+// with it).
+func (s *Server) clearCheckpointDir(key string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.RemoveAll(filepath.Join(s.cfg.CheckpointDir, key))
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// ResumeOrphans finishes the solves a previous process left behind in
+// CheckpointDir: every per-graph directory still holding a serialized graph
+// is re-parsed and solved — resuming from its snapshot when one survived —
+// and the result lands in the caches exactly as if a client had requested
+// it. Returns the number of orphaned solves that ran. It blocks until done
+// (callers wanting a non-blocking boot run it in a goroutine) and respects
+// MaxConcurrent via the same slot pool as request solves.
+func (s *Server) ResumeOrphans() int {
+	if s.cfg.CheckpointDir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		return 0
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if s.resumeOrphan(e.Name()) {
+			ran++
+		}
+	}
+	return ran
+}
+
+// resumeOrphan re-runs one orphaned solve. A directory without a readable,
+// parsable graph copy is garbage from a crash mid-setup and is removed; a
+// solve cancelled by shutdown leaves its (freshly re-written) snapshot for
+// the next boot.
+func (s *Server) resumeOrphan(key string) bool {
+	dir := filepath.Join(s.cfg.CheckpointDir, key)
+	data, err := os.ReadFile(filepath.Join(dir, graphFileName))
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return false
+	}
+	g, err := graphio.ReadAuto(data)
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return false
+	}
+	ck := core.CheckpointOptions{Dir: dir, Every: s.cfg.CheckpointEvery}
+	if snap := filepath.Join(dir, checkpoint.FileName); fileExists(snap) {
+		ck.ResumeFrom = snap
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.baseCtx.Done():
+		return false
+	}
+	defer func() { <-s.slots }()
+
+	s.gInflight.Add(1)
+	res := core.DiameterCtx(s.baseCtx, g, core.Options{Workers: s.cfg.Workers, Checkpoint: ck})
+	s.gInflight.Add(-1)
+
+	if res.Cancelled {
+		s.mCancelled.Inc()
+		return true
+	}
+	if res.Resumed {
+		s.mResumes.Inc()
+	}
+	s.graphs.add(key, g)
+	s.gGraphBytes.Set(s.graphs.bytes())
+	s.results.add(key, res)
+	s.clearCheckpointDir(key)
+	return true
+}
+
 func (s *Server) writeResult(w http.ResponseWriter, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool) {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
@@ -414,6 +646,7 @@ func (s *Server) writeResult(w http.ResponseWriter, key string, res core.Result,
 		Infinite:       res.Infinite,
 		TimedOut:       res.TimedOut,
 		Cancelled:      res.Cancelled,
+		Resumed:        res.Resumed,
 		WitnessA:       witness(res.WitnessA),
 		WitnessB:       witness(res.WitnessB),
 		ElapsedNS:      elapsed.Nanoseconds(),
