@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test race lint checked fuzz-smoke chaos serve fmt clean
+.PHONY: all build test race lint checked bench-msbfs fuzz-smoke chaos serve fmt clean
 
 all: build test
 
@@ -26,6 +26,12 @@ lint:
 # paper-theorem invariants at runtime plus the naive-baseline differential.
 checked:
 	$(GO) test -tags fdiam.checked -count=1 ./internal/core/...
+
+# bench-msbfs races the legacy main loop (batching disabled) against the
+# MS-BFS-batched one over the Table 1 stand-in catalog and refreshes the
+# BENCH_pr6.json snapshot.
+bench-msbfs:
+	$(GO) run ./cmd/experiments -run ext-msbfs -runs 5 -json BENCH_pr6.json
 
 fuzz-smoke:
 	$(GO) test -tags fdiam.checked -fuzz=FuzzDiameterMatchesNaive -fuzztime=15s -run='^$$' ./internal/core/

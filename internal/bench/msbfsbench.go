@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fdiam/internal/core"
+	"fdiam/internal/stats"
+)
+
+// This file benchmarks the MS-BFS batching of the solver's main loop: the
+// same F-Diam solve with batching disabled (the pre-batching main loop, one
+// direction-optimized BFS per surviving vertex) versus batching under the
+// default cost model. The cost model is part of what is being measured — on
+// workloads whose survivors are few or whose evaluations prune heavily it
+// should decline to batch and stay within noise of the legacy loop, while
+// on many-survivor workloads (grids, road networks) it should engage and
+// win. The per-run batch engagement counters are part of the snapshot so a
+// regression in the model itself (batching where it should not, or never
+// engaging) is visible, not just a runtime regression.
+
+// MSBFSCompRow is one workload's legacy-vs-batched measurement.
+type MSBFSCompRow struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"`
+	Vertices int    `json:"vertices"`
+	Arcs     int64  `json:"arcs"`
+	Diameter int32  `json:"diameter"`
+	// Median wall-clock per full solve, in milliseconds.
+	LegacyMillis  float64 `json:"legacy_ms"`
+	BatchedMillis float64 `json:"batched_ms"`
+	// Speedup is legacy/batched (>1 means batching is faster).
+	Speedup float64 `json:"speedup"`
+	// EccBFS is the main-loop evaluation volume (identical for both sides
+	// by the equivalence guarantee; the runner fails on mismatch).
+	EccBFS int64 `json:"ecc_bfs"`
+	// Batch engagement of the batched side: how many MS-BFS batches ran,
+	// how many sources they carried, and how many of those were discarded
+	// because an earlier commit of the same batch pruned them.
+	Batches   int64 `json:"msbfs_batches"`
+	Sources   int64 `json:"msbfs_sources"`
+	Discarded int64 `json:"msbfs_discarded"`
+}
+
+// MSBFSComparisonReport is the JSON snapshot written to BENCH_pr6.json.
+type MSBFSComparisonReport struct {
+	Scale     string         `json:"scale"`
+	Runs      int            `json:"runs"`
+	Workers   int            `json:"workers"`
+	GoMaxProc int            `json:"gomaxprocs"`
+	Rows      []MSBFSCompRow `json:"rows"`
+}
+
+// MSBFSComparison solves every workload twice per run — batching disabled
+// versus the default cost model — and reports median runtimes. Results are
+// cross-checked: a diameter or counter divergence between the two modes is
+// a correctness bug and returns an error.
+func MSBFSComparison(workloads []*Workload, cfg Config, out io.Writer) ([]MSBFSCompRow, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var rows []MSBFSCompRow
+	for _, w := range workloads {
+		g := w.Graph()
+
+		var legacyTimes, batchedTimes []time.Duration
+		var legacy, batched core.Result
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			legacy = core.Diameter(g, core.Options{
+				Workers: cfg.Workers,
+				Timeout: cfg.Timeout,
+				Batch:   core.BatchOptions{Disable: true},
+			})
+			legacyTimes = append(legacyTimes, time.Since(start))
+
+			start = time.Now()
+			batched = core.Diameter(g, core.Options{
+				Workers: cfg.Workers,
+				Timeout: cfg.Timeout,
+			})
+			batchedTimes = append(batchedTimes, time.Since(start))
+
+			if legacy.TimedOut || batched.TimedOut {
+				break // no point repeating a timeout
+			}
+			if batched.Diameter != legacy.Diameter || batched.Infinite != legacy.Infinite {
+				return rows, fmt.Errorf("%s: batched (diam=%d, inf=%v) != legacy (diam=%d, inf=%v)",
+					w.Name, batched.Diameter, batched.Infinite, legacy.Diameter, legacy.Infinite)
+			}
+			if batched.Stats.EccBFS != legacy.Stats.EccBFS ||
+				batched.Stats.Computed != legacy.Stats.Computed {
+				return rows, fmt.Errorf("%s: batched counters (ecc_bfs=%d, computed=%d) != legacy (%d, %d)",
+					w.Name, batched.Stats.EccBFS, batched.Stats.Computed,
+					legacy.Stats.EccBFS, legacy.Stats.Computed)
+			}
+		}
+
+		lm := stats.MedianDuration(legacyTimes)
+		bm := stats.MedianDuration(batchedTimes)
+		row := MSBFSCompRow{
+			Name:          w.Name,
+			Class:         w.Class,
+			Vertices:      g.NumVertices(),
+			Arcs:          g.NumArcs(),
+			Diameter:      legacy.Diameter,
+			LegacyMillis:  float64(lm) / float64(time.Millisecond),
+			BatchedMillis: float64(bm) / float64(time.Millisecond),
+			EccBFS:        legacy.Stats.EccBFS,
+			Batches:       batched.Stats.MSBFSBatches,
+			Sources:       batched.Stats.MSBFSSources,
+			Discarded:     batched.Stats.MSBFSDiscarded,
+		}
+		if bm > 0 {
+			row.Speedup = float64(lm) / float64(bm)
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintf(out, "  %-22s legacy %8.2fms  batched %8.2fms  speedup %5.2fx  batches %d (%d sources, %d discarded)\n",
+				w.Name, row.LegacyMillis, row.BatchedMillis, row.Speedup,
+				row.Batches, row.Sources, row.Discarded)
+		}
+		w.Release()
+	}
+	return rows, nil
+}
+
+// TableMSBFS renders the comparison as a table.
+func TableMSBFS(out io.Writer, rows []MSBFSCompRow) {
+	fmt.Fprintln(out, "Main loop: one BFS per surviving vertex (legacy) vs bit-parallel MS-BFS")
+	fmt.Fprintln(out, "batches of 64 under the default cost model (batched)")
+	fmt.Fprintf(out, "%-22s %10s %10s %12s %12s %8s %8s\n",
+		"graph", "vertices", "ecc BFS", "legacy ms", "batched ms", "speedup", "batches")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %10d %10d %12.2f %12.2f %7.2fx %8d\n",
+			r.Name, r.Vertices, r.EccBFS, r.LegacyMillis, r.BatchedMillis, r.Speedup, r.Batches)
+	}
+}
+
+// WriteMSBFSComparisonJSON writes the snapshot consumed by BENCH_pr6.json.
+func WriteMSBFSComparisonJSON(out io.Writer, scale string, cfg Config, rows []MSBFSCompRow) error {
+	rep := MSBFSComparisonReport{
+		Scale:     scale,
+		Runs:      cfg.Runs,
+		Workers:   cfg.Workers,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Rows:      rows,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

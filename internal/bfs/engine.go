@@ -72,6 +72,13 @@ type Engine struct {
 	// dirOpt enables the direction-optimized hybrid for full traversals.
 	dirOpt bool
 
+	// ms holds the bit-parallel multi-source traversal state (msbfs.go):
+	// one uint64 word per vertex for seen/frontier/next, the active vertex
+	// lists, and the dirty list that lets consecutive batches reuse the
+	// words without an O(n) clear. Lazily sized on the first
+	// MultiSourceRun.
+	ms msState
+
 	// cancel, when non-nil, is polled once per completed level: a true
 	// load aborts the traversal between levels. Level granularity keeps
 	// the per-edge kernels free of any cancellation overhead while
@@ -702,12 +709,21 @@ func (e *Engine) bottomUpParallel(workers int) {
 //
 //fdiam:hotpath
 func (e *Engine) concatFrontier(workers int) {
+	e.wl2 = e.concatInto(e.wl2, workers)
+}
+
+// concatInto appends the per-worker output buffers to dst (which the caller
+// has reset to length 0) and returns the grown slice. Shared by the
+// single-source frontier swap and the multi-source active-list rebuild.
+//
+//fdiam:hotpath
+func (e *Engine) concatInto(dst []graph.Vertex, workers int) []graph.Vertex {
 	total := 0
 	for w := 0; w < workers; w++ {
 		total += len(e.bufs[w])
 	}
 	if total == 0 {
-		return
+		return dst
 	}
 	if workers > 1 && total >= 1<<15 {
 		if cap(e.catOffs) < workers+1 {
@@ -719,19 +735,20 @@ func (e *Engine) concatFrontier(workers int) {
 		for w := 0; w < workers; w++ {
 			offs[w+1] = offs[w] + len(e.bufs[w])
 		}
-		if cap(e.wl2) < total {
+		if cap(dst) < total {
 			//fdiamlint:ignore hotalloc grow-once frontier buffer, reused across levels once capacity suffices
-			e.wl2 = make([]graph.Vertex, total)
+			dst = make([]graph.Vertex, total)
 		}
-		e.wl2 = e.wl2[:total]
+		dst = dst[:total]
 		e.parForWorker(workers, workers, 1, func(_, lo, hi int) {
 			for w := lo; w < hi; w++ {
-				copy(e.wl2[offs[w]:offs[w+1]], e.bufs[w])
+				copy(dst[offs[w]:offs[w+1]], e.bufs[w])
 			}
 		})
-		return
+		return dst
 	}
 	for w := 0; w < workers; w++ {
-		e.wl2 = append(e.wl2, e.bufs[w]...)
+		dst = append(dst, e.bufs[w]...)
 	}
+	return dst
 }

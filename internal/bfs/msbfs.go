@@ -1,97 +1,486 @@
 package bfs
 
 import (
+	"math/bits"
+	"time"
+
 	"fdiam/internal/graph"
-	"fdiam/internal/par"
+	"fdiam/internal/obs"
 )
 
-// MultiSourceEccentricities computes the eccentricity of every source with
-// a bit-parallel multi-source BFS (MS-BFS): sources are processed in
-// batches of 64, one bit per source per vertex, so one pass over the edges
-// advances 64 traversals at once. This is the computational core of
+// This file implements the engine's bit-parallel multi-source BFS (MS-BFS):
+// up to 64 sources per batch, one bit per source per vertex, so one edge
+// pass advances 64 traversals at once. This is the computational core of
 // vertex-centric "compute every eccentricity simultaneously" schemes like
-// Pennycuff & Weninger's (discussed in the paper's related work): massively
-// parallel but Θ(n·m/64) work, so it loses to F-Diam's work avoidance on
-// everything but small graphs.
+// Pennycuff & Weninger's (discussed in the paper's related work). On its
+// own it is Θ(n·m/64) work and loses to F-Diam's work avoidance — but as a
+// batch engine for the survivors of Winnow/Eliminate it amortizes one
+// shared traversal over up to 64 of the solver's exact evaluations.
 //
-// The returned slice is parallel to sources; the eccentricity is within
-// each source's connected component. workers < 1 selects the default.
-func MultiSourceEccentricities(g *graph.Graph, sources []graph.Vertex, workers int) []int32 {
-	if workers < 1 {
-		workers = par.DefaultWorkers()
+// Two kernels expand a level, mirroring the single-source engine's
+// direction optimization:
+//
+//   - push (serial): scatter the active list's frontier words along its
+//     out-edges. Cost ≈ the active list's outgoing arcs; no atomics
+//     because it is serial.
+//   - pull (parallel): every vertex gathers its neighbors' frontier words
+//     under the worker pool. Cost ≈ (n + m)/workers; race-free because
+//     vertex v's words are written only by v's range owner.
+//
+// A per-level cost model picks the cheaper one (see msPullThreshold). All
+// per-vertex words are engine-owned and reused across batches: a dirty
+// list of first-touched vertices makes the inter-batch reset O(touched)
+// instead of O(n), and the per-worker reduction buffers are hoisted out of
+// the level loop (allocated once per engine).
+
+// MultiSourceResult is the outcome of one MS-BFS batch. All slices are
+// engine-owned and valid only until the next traversal on the engine;
+// callers that keep them must copy.
+type MultiSourceResult struct {
+	// Ecc holds, per source, the eccentricity within the source's
+	// connected component. After an aborted run it is only a lower bound
+	// (levels completed so far), like a cut-short Eccentricity call.
+	Ecc []int32
+	// Witness holds, per source, a vertex realizing Ecc: a vertex at
+	// distance exactly Ecc[i] from sources[i] (the source itself when
+	// Ecc[i] == 0).
+	Witness []graph.Vertex
+	// Rows, when requested, holds per-source hop-distance rows:
+	// Rows[i][v] is d(sources[i], v), or -1 for vertices the source did
+	// not reach. nil unless requested. After an aborted run only
+	// distances ≤ Levels are recorded.
+	Rows [][]int32
+	// Levels is the number of completed levels (the maximum of Ecc).
+	Levels int32
+	// Aborted reports that the cancellation flag cut the run short
+	// between levels (same contract as Engine.Aborted).
+	Aborted bool
+}
+
+// msState is the engine's reusable multi-source traversal state.
+type msState struct {
+	// seen/frontier/next hold one bit per (source, vertex). Invariants
+	// between levels: next is all-zero; frontier is nonzero exactly on
+	// the active list; seen is nonzero exactly on the dirty list.
+	seen, frontier, next []uint64
+	// active and nextAct are the current and next frontier vertex lists,
+	// swapped every level like the single-source engine's wl1/wl2.
+	active, nextAct []graph.Vertex
+	// dirty lists every vertex whose words were touched this batch, each
+	// exactly once (first-touch detection in the kernels), so the next
+	// batch resets O(touched) words instead of O(n).
+	dirty []graph.Vertex
+	// results and touch are the hoisted per-worker reduction buffers of
+	// the pull kernel (advanced-bits OR, first-touch counts) — allocated
+	// once, not per level.
+	results []uint64
+	touch   []int64
+	// dbufs are the pull kernel's per-worker first-touch output buffers
+	// (the push kernel appends to dirty directly; pull workers may not).
+	dbufs [][]graph.Vertex
+	// touched counts distinct vertices reached this batch (== len(dirty)).
+	touched int
+	// ecc and wit are the per-source output buffers (64 slots).
+	ecc []int32
+	wit []graph.Vertex
+	// rows holds the optional per-source distance rows, allocated on the
+	// first rows request. rowsDirty/rowsBits record which (vertex, bit)
+	// entries the previous rows run wrote, so the next one resets exactly
+	// those instead of 64·n entries.
+	rows      [][]int32
+	rowsDirty []graph.Vertex
+	rowsBits  []uint64
+}
+
+// MultiSourceRun runs one bit-parallel MS-BFS batch of up to 64 sources
+// and returns per-source eccentricities and farthest witnesses, plus
+// per-source distance rows when wantRows is set. It honors the engine's
+// traversal contract: the cancellation flag (SetCancel) is polled once per
+// level and aborts between levels, and the barrier callback (SetBarrier)
+// runs once per completed level on the calling goroutine — so checkpoint
+// cadence and deadline overshoot behave exactly as for Eccentricity.
+//
+// Duplicate sources are allowed (their bits travel together). The result
+// slices are engine-owned and valid until the next traversal.
+func (e *Engine) MultiSourceRun(sources []graph.Vertex, wantRows bool) MultiSourceResult {
+	return e.msRun(sources, true, wantRows)
+}
+
+// msRun is the shared batch core; wantWit gates the per-bit witness
+// extraction so eccentricity-only callers skip its serial pass.
+func (e *Engine) msRun(sources []graph.Vertex, wantWit, wantRows bool) MultiSourceResult {
+	if len(sources) > 64 {
+		panic("bfs: MultiSourceRun batch exceeds 64 sources")
 	}
-	n := g.NumVertices()
+	e.fullTraversals += int64(len(sources))
+	e.aborted = false
+	n := e.g.NumVertices()
+	ms := &e.ms
+	e.ensureMS(n)
+	if n == 0 || len(sources) == 0 {
+		return MultiSourceResult{Ecc: ms.ecc[:len(sources)], Witness: ms.wit[:len(sources)]}
+	}
+	if wantRows {
+		e.ensureRows(n)
+	}
+	e.msReset()
+
+	// Seed the batch: bit i belongs to sources[i].
+	for bit, s := range sources {
+		if ms.seen[s] == 0 {
+			ms.active = append(ms.active, s)
+			ms.dirty = append(ms.dirty, s)
+		}
+		ms.seen[s] |= 1 << uint(bit)
+		ms.frontier[s] |= 1 << uint(bit)
+		ms.ecc[bit] = 0
+		ms.wit[bit] = s
+		if wantRows {
+			ms.rows[bit][s] = 0
+		}
+	}
+	ms.touched = len(ms.active)
+
+	tr := e.trace
+	tr.TraversalStart("msbfs", len(sources))
+	maxDeg := int64(e.g.MaxDegree())
+	pullThr := (int64(n) + e.g.NumArcs()) / int64(e.workers)
+	var level int32
+	for len(ms.active) > 0 {
+		// One atomic load per level: abort between levels so every
+		// recorded eccentricity stays a sound lower bound and the hot
+		// kernels carry no cancellation overhead.
+		if e.cancel != nil && e.cancel.Load() {
+			e.aborted = true
+			break
+		}
+		if e.barrier != nil {
+			e.barrier()
+		}
+		// Kernel choice, gated like runWith: the O(1) nf·maxDeg upper
+		// bound on the active arcs keeps the exact O(active) sum off
+		// levels where pull is out of the question.
+		usePull := false
+		if e.workers > 1 && n >= e.serialCutoff {
+			if ub := int64(len(ms.active)) * maxDeg; ub > pullThr {
+				if e.msActiveArcs() > pullThr {
+					usePull = true
+				}
+			}
+		}
+		var lvlStart time.Time
+		var lvlArcs int64
+		if tr != nil {
+			lvlStart = time.Now()
+			lvlArcs = e.msActiveArcs()
+		}
+		ms.nextAct = ms.nextAct[:0]
+		var advanced uint64
+		var step obs.Step
+		if usePull {
+			step = obs.StepMSPull
+			advanced = e.msPull()
+		} else {
+			step = obs.StepMSPush
+			advanced = e.msPush()
+		}
+		if advanced == 0 {
+			break
+		}
+		level++
+		// Every source whose traversal advanced has eccentricity ≥ level.
+		for b := advanced; b != 0; b &= b - 1 {
+			ms.ecc[bits.TrailingZeros64(b)] = level
+		}
+		if wantWit {
+			// Witness extraction stays serial: two frontier vertices
+			// carrying the same bit would race on wit[b], and any one
+			// of them is a valid witness anyway.
+			for _, w := range ms.nextAct {
+				for b := ms.next[w]; b != 0; b &= b - 1 {
+					ms.wit[bits.TrailingZeros64(b)] = w
+				}
+			}
+		}
+		e.msSwapFrontier(level, wantRows)
+		tr.LevelDone(level, step, len(ms.nextAct), lvlArcs, n-ms.touched, lvlStart)
+		ms.active, ms.nextAct = ms.nextAct, ms.active
+	}
+	e.reached = int64(ms.touched)
+	tr.TraversalEnd(level, e.reached, 0)
+	if wantRows {
+		// Record exactly which row entries this batch wrote, so the next
+		// rows run resets those and nothing else.
+		ms.rowsDirty = append(ms.rowsDirty[:0], ms.dirty...)
+		if cap(ms.rowsBits) < len(ms.dirty) {
+			ms.rowsBits = make([]uint64, len(ms.dirty))
+		}
+		ms.rowsBits = ms.rowsBits[:len(ms.dirty)]
+		for i, v := range ms.dirty {
+			ms.rowsBits[i] = ms.seen[v]
+		}
+	}
+	res := MultiSourceResult{
+		Ecc:     ms.ecc[:len(sources)],
+		Witness: ms.wit[:len(sources)],
+		Levels:  level,
+		Aborted: e.aborted,
+	}
+	if wantRows {
+		res.Rows = ms.rows[:len(sources)]
+	}
+	return res
+}
+
+// ensureMS sizes the multi-source state for n vertices and the engine's
+// worker count. The word arrays are allocated once per engine (they are
+// zero by construction; batches keep them zeroed via the dirty list).
+func (e *Engine) ensureMS(n int) {
+	ms := &e.ms
+	if len(ms.seen) < n {
+		ms.seen = make([]uint64, n)
+		ms.frontier = make([]uint64, n)
+		ms.next = make([]uint64, n)
+		ms.dirty = ms.dirty[:0]
+	}
+	if ms.ecc == nil {
+		ms.ecc = make([]int32, 64)
+		ms.wit = make([]graph.Vertex, 64)
+	}
+	if len(ms.results) < e.workers {
+		ms.results = make([]uint64, e.workers)
+		ms.touch = make([]int64, e.workers)
+	}
+	for len(ms.dbufs) < e.workers {
+		ms.dbufs = append(ms.dbufs, nil)
+	}
+}
+
+// ensureRows allocates the 64 distance rows on first use (one contiguous
+// backing array) and resets the entries the previous rows run wrote.
+func (e *Engine) ensureRows(n int) {
+	ms := &e.ms
+	if ms.rows == nil {
+		backing := make([]int32, 64*n)
+		e.parForWorker(len(backing), e.workers, 0, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				backing[i] = -1
+			}
+		})
+		ms.rows = make([][]int32, 64)
+		for b := range ms.rows {
+			ms.rows[b] = backing[b*n : (b+1)*n : (b+1)*n]
+		}
+		return
+	}
+	// Reset exactly the (bit, vertex) entries the previous rows run wrote.
+	// rowsDirty vertices are distinct, so the parallel reset is race-free.
+	reset := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := ms.rowsDirty[i]
+			for b := ms.rowsBits[i]; b != 0; b &= b - 1 {
+				ms.rows[bits.TrailingZeros64(b)][v] = -1
+			}
+		}
+	}
+	if e.workers > 1 && len(ms.rowsDirty) >= e.serialCutoff {
+		e.parForWorker(len(ms.rowsDirty), e.workers, 2048, func(_, lo, hi int) { reset(lo, hi) })
+	} else {
+		reset(0, len(ms.rowsDirty))
+	}
+	ms.rowsDirty = ms.rowsDirty[:0]
+	ms.rowsBits = ms.rowsBits[:0]
+}
+
+// msReset zeroes the words the previous batch touched — O(touched), not
+// O(n). Dirty vertices are distinct (first-touch detection in the
+// kernels), so the parallel reset is race-free.
+func (e *Engine) msReset() {
+	ms := &e.ms
+	clear := func(lo, hi int) {
+		for _, v := range ms.dirty[lo:hi] {
+			ms.seen[v] = 0
+			ms.frontier[v] = 0
+		}
+	}
+	if e.workers > 1 && len(ms.dirty) >= e.serialCutoff {
+		e.parForWorker(len(ms.dirty), e.workers, 2048, func(_, lo, hi int) { clear(lo, hi) })
+	} else {
+		clear(0, len(ms.dirty))
+	}
+	ms.dirty = ms.dirty[:0]
+	ms.active = ms.active[:0]
+	ms.touched = 0
+}
+
+// msActiveArcs sums the outgoing-arc counts of the active list. Only
+// called on levels where the nf·maxDeg gate passes, or when tracing.
+//
+//fdiam:hotpath
+func (e *Engine) msActiveArcs() int64 {
+	offsets := e.g.Offsets()
+	var mf int64
+	for _, v := range e.ms.active {
+		mf += offsets[v+1] - offsets[v]
+	}
+	return mf
+}
+
+// msPush is the serial scatter kernel: each active vertex pushes its
+// frontier word along its out-edges. seen is folded in immediately — under
+// level synchrony that only suppresses same-level duplicates of the same
+// bit, which land at the same distance either way — so there is no
+// separate commit pass. Returns the union of freshly advanced bits.
+//
+//fdiam:hotpath
+func (e *Engine) msPush() uint64 {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	seen, frontier, next := e.ms.seen, e.ms.frontier, e.ms.next
+	nextAct, dirty := e.ms.nextAct, e.ms.dirty
+	touched := e.ms.touched
+	var advanced uint64
+	for _, v := range e.ms.active {
+		fb := frontier[v]
+		for _, w := range targets[offsets[v]:offsets[v+1]] {
+			nb := fb &^ seen[w]
+			if nb == 0 {
+				continue
+			}
+			if seen[w] == 0 {
+				dirty = append(dirty, w)
+				touched++
+			}
+			if next[w] == 0 {
+				nextAct = append(nextAct, w)
+			}
+			next[w] |= nb
+			seen[w] |= nb
+			advanced |= nb
+		}
+	}
+	e.ms.nextAct, e.ms.dirty = nextAct, dirty
+	e.ms.touched = touched
+	return advanced
+}
+
+// msPull is the parallel gather kernel: every vertex gathers the frontier
+// words of its neighbors under the worker pool. Race-free by ownership —
+// vertex v's seen/next words are written only by the worker that owns v's
+// range, and frontier is read-only during the level. The per-worker
+// advanced words and first-touch counts land in the hoisted reduction
+// buffers; the per-worker frontier/dirty buffers are concatenated after
+// the barrier exactly like the single-source parallel kernels.
+//
+//fdiam:hotpath
+func (e *Engine) msPull() uint64 {
+	offsets, targets := e.g.Offsets(), e.g.Targets()
+	seen, frontier, next := e.ms.seen, e.ms.frontier, e.ms.next
+	n := e.g.NumVertices()
+	workers := e.workers
+	results := e.ms.results[:workers]
+	touch := e.ms.touch[:workers]
+	for w := 0; w < workers; w++ {
+		results[w] = 0
+		touch[w] = 0
+		e.bufs[w] = e.bufs[w][:0]
+		e.ms.dbufs[w] = e.ms.dbufs[w][:0]
+	}
+	e.parForWorker(n, workers, 1024, func(worker, lo, hi int) {
+		buf := e.bufs[worker]
+		dbuf := e.ms.dbufs[worker]
+		var adv uint64
+		var tc int64
+		for v := lo; v < hi; v++ {
+			var acc uint64
+			for _, w := range targets[offsets[v]:offsets[v+1]] {
+				acc |= frontier[w]
+			}
+			sv := seen[v]
+			acc &^= sv
+			if acc == 0 {
+				continue
+			}
+			if sv == 0 {
+				dbuf = append(dbuf, graph.Vertex(v))
+				tc++
+			}
+			next[v] = acc
+			seen[v] = sv | acc
+			buf = append(buf, graph.Vertex(v))
+			adv |= acc
+		}
+		e.bufs[worker] = buf
+		e.ms.dbufs[worker] = dbuf
+		// The same worker id may process many chunks: accumulate.
+		results[worker] |= adv
+		touch[worker] += tc
+	})
+	var advanced uint64
+	for w := 0; w < workers; w++ {
+		advanced |= results[w]
+		e.ms.touched += int(touch[w])
+		e.ms.dirty = append(e.ms.dirty, e.ms.dbufs[w]...)
+	}
+	e.ms.nextAct = e.concatInto(e.ms.nextAct, workers)
+	return advanced
+}
+
+// msSwapFrontier retires the old frontier and installs the new one: clear
+// the old active list's frontier words, then move next into frontier over
+// the new list (zeroing next, restoring the between-level invariant) and
+// fill the distance rows while next is still at hand. Both passes touch
+// distinct vertices, so they parallelize under the pool when large — the
+// commit work runs alongside the gather step's worker team instead of
+// serially.
+//
+//fdiam:hotpath
+func (e *Engine) msSwapFrontier(level int32, wantRows bool) {
+	ms := &e.ms
+	parallel := e.workers > 1 && len(ms.active)+len(ms.nextAct) >= e.serialCutoff
+	clearOld := func(lo, hi int) {
+		for _, v := range ms.active[lo:hi] {
+			ms.frontier[v] = 0
+		}
+	}
+	install := func(lo, hi int) {
+		for _, w := range ms.nextAct[lo:hi] {
+			b := ms.next[w]
+			ms.frontier[w] = b
+			ms.next[w] = 0
+			if wantRows {
+				for ; b != 0; b &= b - 1 {
+					ms.rows[bits.TrailingZeros64(b)][w] = level
+				}
+			}
+		}
+	}
+	if parallel {
+		e.parForWorker(len(ms.active), e.workers, 2048, func(_, lo, hi int) { clearOld(lo, hi) })
+		e.parForWorker(len(ms.nextAct), e.workers, 2048, func(_, lo, hi int) { install(lo, hi) })
+		return
+	}
+	clearOld(0, len(ms.active))
+	install(0, len(ms.nextAct))
+}
+
+// MultiSourceEccentricities computes the eccentricity of every source with
+// batches of 64 through the MS-BFS engine core. The returned slice is
+// parallel to sources; each eccentricity is within the source's connected
+// component. workers < 1 selects the default.
+func MultiSourceEccentricities(g *graph.Graph, sources []graph.Vertex, workers int) []int32 {
 	eccs := make([]int32, len(sources))
-	if n == 0 {
+	if g.NumVertices() == 0 || len(sources) == 0 {
 		return eccs
 	}
-	offsets, targets := g.Offsets(), g.Targets()
-
-	seen := make([]uint64, n)
-	frontier := make([]uint64, n)
-	next := make([]uint64, n)
-
+	e := New(g, workers)
+	defer e.Close()
 	for base := 0; base < len(sources); base += 64 {
 		batch := sources[base:]
 		if len(batch) > 64 {
 			batch = batch[:64]
 		}
-		for i := range seen {
-			seen[i] = 0
-			frontier[i] = 0
-		}
-		for bit, s := range batch {
-			seen[s] |= 1 << uint(bit)
-			frontier[s] |= 1 << uint(bit)
-		}
-		var level int32
-		for {
-			level++
-			// Pull step: every vertex gathers the frontier bits of
-			// its neighbors; bits already seen are masked out.
-			// Races are impossible: next[v] is written only by v's
-			// own iteration.
-			var advanced uint64
-			gather := func(lo, hi int) uint64 {
-				var localAdvanced uint64
-				for v := lo; v < hi; v++ {
-					var acc uint64
-					for _, w := range targets[offsets[v]:offsets[v+1]] {
-						acc |= frontier[w]
-					}
-					acc &^= seen[v]
-					next[v] = acc
-					localAdvanced |= acc
-				}
-				return localAdvanced
-			}
-			if workers > 1 && n >= 4096 {
-				results := make([]uint64, workers)
-				par.ForWorker(n, workers, 1024, func(worker, lo, hi int) {
-					results[worker] |= gather(lo, hi)
-				})
-				for _, r := range results {
-					advanced |= r
-				}
-			} else {
-				advanced = gather(0, n)
-			}
-			if advanced == 0 {
-				break
-			}
-			// Commit: fold the new bits into seen and swap frontiers.
-			for v := 0; v < n; v++ {
-				seen[v] |= next[v]
-				frontier[v] = next[v]
-			}
-			// Every source whose traversal advanced this level has
-			// eccentricity ≥ level.
-			for bit := range batch {
-				if advanced&(1<<uint(bit)) != 0 {
-					eccs[base+bit] = level
-				}
-			}
-		}
+		res := e.msRun(batch, false, false)
+		copy(eccs[base:], res.Ecc)
 	}
 	return eccs
 }

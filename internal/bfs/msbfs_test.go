@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"fdiam/internal/gen"
@@ -82,6 +83,206 @@ func TestMultiSourceParallelAgrees(t *testing.T) {
 			}
 		}
 	}
+}
+
+// collectSources returns up to max distinct source vertices spread over g.
+func collectSources(g *graph.Graph, max int) []graph.Vertex {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	stride := n/max + 1
+	var out []graph.Vertex
+	for v := 0; v < n && len(out) < max; v += stride {
+		out = append(out, graph.Vertex(v))
+	}
+	return out
+}
+
+func TestMultiSourceRunWitnessRealizesEcc(t *testing.T) {
+	for name, g := range testGraphs() {
+		n := g.NumVertices()
+		if n == 0 {
+			continue
+		}
+		e := New(g, 2)
+		sources := collectSources(g, 64)
+		res := e.MultiSourceRun(sources, false)
+		if res.Aborted {
+			t.Fatalf("%s: unexpected abort", name)
+		}
+		ref := New(g, 1)
+		dist := make([]int32, n)
+		for i, s := range sources {
+			want := ref.Distances(s, dist)
+			if res.Ecc[i] != want {
+				t.Errorf("%s: ecc(%d) = %d, want %d", name, s, res.Ecc[i], want)
+			}
+			if w := res.Witness[i]; dist[w] != res.Ecc[i] {
+				t.Errorf("%s: witness %d of source %d at dist %d, want %d",
+					name, w, s, dist[w], res.Ecc[i])
+			}
+		}
+	}
+}
+
+func TestMultiSourceRunRows(t *testing.T) {
+	for name, g := range testGraphs() {
+		n := g.NumVertices()
+		if n == 0 {
+			continue
+		}
+		e := New(g, 2)
+		ref := New(g, 1)
+		dist := make([]int32, n)
+		// Two consecutive rows batches through one engine: the second
+		// catches stale entries if the dirty-list reset misses any.
+		for round := 0; round < 2; round++ {
+			sources := collectSources(g, 64)
+			if round == 1 && len(sources) > 3 {
+				sources = sources[1:4]
+			}
+			res := e.MultiSourceRun(sources, true)
+			for i, s := range sources {
+				ref.Distances(s, dist)
+				for v := 0; v < n; v++ {
+					if res.Rows[i][v] != dist[v] {
+						t.Fatalf("%s round %d: row[%d][%d] = %d, want %d",
+							name, round, s, v, res.Rows[i][v], dist[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiSourceRunDuplicateSources(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	sources := []graph.Vertex{5, 5, 17, 5}
+	e := New(g, 1)
+	res := e.MultiSourceRun(sources, false)
+	ref := New(g, 1)
+	for i, s := range sources {
+		if want := ref.Eccentricity(s); res.Ecc[i] != want {
+			t.Errorf("source %d (bit %d): ecc %d, want %d", s, i, res.Ecc[i], want)
+		}
+	}
+}
+
+func TestMultiSourceRunEngineInterleaving(t *testing.T) {
+	// MS state and single-source marks must not interfere: alternate the
+	// two traversal kinds on one engine.
+	g := gen.RMAT(10, 8, gen.DefaultRMAT, 7)
+	e := New(g, 2)
+	ref := New(g, 1)
+	sources := collectSources(g, 64)
+	for round := 0; round < 3; round++ {
+		res := e.MultiSourceRun(sources, false)
+		for i, s := range sources {
+			if want := ref.Eccentricity(s); res.Ecc[i] != want {
+				t.Fatalf("round %d: MS ecc(%d) = %d, want %d", round, s, res.Ecc[i], want)
+			}
+		}
+		if got, want := e.Eccentricity(sources[0]), ref.Eccentricity(sources[0]); got != want {
+			t.Fatalf("round %d: single ecc = %d, want %d", round, got, want)
+		}
+	}
+}
+
+func TestMultiSourceRunCancelImmediate(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	e := New(g, 1)
+	var flag atomic.Bool
+	flag.Store(true)
+	e.SetCancel(&flag)
+	res := e.MultiSourceRun([]graph.Vertex{0, 10, 20}, false)
+	if !res.Aborted || !e.Aborted() {
+		t.Fatal("expected aborted run")
+	}
+	if res.Levels != 0 {
+		t.Fatalf("levels = %d, want 0", res.Levels)
+	}
+	for i, ecc := range res.Ecc {
+		if ecc != 0 {
+			t.Fatalf("ecc[%d] = %d, want 0 (no levels completed)", i, ecc)
+		}
+	}
+}
+
+func TestMultiSourceRunCancelMidRun(t *testing.T) {
+	g := gen.Grid2D(40, 40) // diameter 78: plenty of levels
+	e := New(g, 1)
+	var flag atomic.Bool
+	e.SetCancel(&flag)
+	levels := 0
+	e.SetBarrier(func() {
+		levels++
+		if levels == 5 {
+			flag.Store(true)
+		}
+	})
+	res := e.MultiSourceRun([]graph.Vertex{0}, false)
+	if !res.Aborted {
+		t.Fatal("expected aborted run")
+	}
+	ref := New(g, 1)
+	want := ref.Eccentricity(0)
+	if res.Ecc[0] >= want {
+		t.Fatalf("aborted ecc %d not a strict lower bound of %d", res.Ecc[0], want)
+	}
+	if res.Ecc[0] != res.Levels {
+		t.Fatalf("single-source lower bound %d != completed levels %d", res.Ecc[0], res.Levels)
+	}
+}
+
+func TestMultiSourceRunBarrierPerLevel(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	e := New(g, 1)
+	calls := 0
+	e.SetBarrier(func() { calls++ })
+	res := e.MultiSourceRun([]graph.Vertex{0, 50}, false)
+	// The barrier runs before every expansion round, including the final
+	// round that discovers the frontier is exhausted.
+	if want := int(res.Levels) + 1; calls != want {
+		t.Fatalf("barrier calls = %d, want %d (levels %d)", calls, want, res.Levels)
+	}
+}
+
+func TestMultiSourceRunPullKernelAgrees(t *testing.T) {
+	// A star's center frontier passes the pull gate immediately at
+	// workers > 1; the RMAT exercises mixed push/pull level sequences.
+	graphs := map[string]*graph.Graph{
+		"star": gen.Star(5000),
+		"rmat": gen.RMAT(12, 8, gen.DefaultRMAT, 3),
+	}
+	for name, g := range graphs {
+		serial := New(g, 1)
+		parallel := New(g, 4)
+		parallel.SetSerialCutoff(0)
+		sources := collectSources(g, 64)
+		a := serial.MultiSourceRun(sources, true)
+		b := parallel.MultiSourceRun(sources, true)
+		for i := range sources {
+			if a.Ecc[i] != b.Ecc[i] {
+				t.Fatalf("%s: ecc[%d] %d vs %d", name, i, a.Ecc[i], b.Ecc[i])
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if a.Rows[i][v] != b.Rows[i][v] {
+					t.Fatalf("%s: row[%d][%d] %d vs %d", name, i, v, a.Rows[i][v], b.Rows[i][v])
+				}
+			}
+		}
+	}
+}
+
+func TestMultiSourceRunOversizedBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for batch > 64 sources")
+		}
+	}()
+	g := gen.Path(100)
+	New(g, 1).MultiSourceRun(make([]graph.Vertex, 65), false)
 }
 
 func BenchmarkMultiSource64(b *testing.B) {

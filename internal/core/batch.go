@@ -1,0 +1,240 @@
+package core
+
+import (
+	"time"
+
+	"fdiam/internal/graph"
+	"fdiam/internal/obs"
+)
+
+// This file implements the MS-BFS batching of the main loop: instead of
+// one direction-optimized BFS per surviving active vertex, the solver
+// collects up to 64 of them and advances all 64 traversals with one
+// bit-parallel pass over the edges (bfs.MultiSourceRun), then commits the
+// results in index order. Committing in order and discarding any source an
+// earlier commit's pruning already removed makes the state evolution — the
+// bound trajectory, every removal, every Stats counter above the MSBFS_*
+// group — exactly identical to the unbatched loop (DESIGN.md §11).
+
+// batchMaxBound is the diameter-bound ceiling of the cost model. A
+// 64-source batch costs roughly levels × (active arc volume) word-ops,
+// and the number of levels is at least the largest source eccentricity —
+// which the current bound predicts. With fewer levels than bit-lanes the
+// shared frontier words amortize across sources and the batch beats even
+// direction-optimized singles (measured: social/web graphs with bounds
+// of 10–40 win 1.2–2.3×); with hundreds of levels (road networks, grids)
+// the spread-out frontiers share nothing and the batch loses outright.
+// Capping at the lane count is the natural break-even.
+const batchMaxBound = 64
+
+// batchEliminateSeedCutoff is the seed-set size from which the
+// multi-source extend-eliminated pass expands its partial BFS under the
+// worker pool instead of serially (mirrors the engine's serial cutoff).
+const batchEliminateSeedCutoff = 1024
+
+// batchEligible is the cost model (DESIGN.md §11): batch when enough
+// active vertices remain for a batch to amortize, the recent pruning rate
+// is low (each evaluation mostly just confirms the bound, so sources
+// collected ahead of time survive to commit), and the diameter bound is
+// small enough that the batch's level count stays under the lane count.
+// Force bypasses the model; Disable wins over everything. The EWMA gate
+// doubles as a warm-up: it stays at its -1 sentinel until the first
+// single evaluation seeds it, so every main loop starts unbatched.
+func (s *solver) batchEligible() bool {
+	b := &s.opt.Batch
+	if b.Disable {
+		return false
+	}
+	if b.Force {
+		return true
+	}
+	minActive := b.MinActive
+	if minActive < 1 {
+		minActive = DefaultBatchMinActive
+	}
+	maxPrune := b.MaxPrune
+	if maxPrune <= 0 {
+		maxPrune = DefaultBatchMaxPrune
+	}
+	if s.activeRemaining() < int64(minActive) {
+		return false
+	}
+	if s.bound > batchMaxBound {
+		return false
+	}
+	return s.pruneEWMA >= 0 && s.pruneEWMA <= maxPrune
+}
+
+// activeRemaining is the main-loop workload measure: vertices neither
+// removed by any stage nor already computed.
+func (s *solver) activeRemaining() int64 {
+	return int64(s.stats.Vertices) - s.removedTotal()
+}
+
+// removedTotal sums every removal attribution (including computed
+// vertices); deltas of it measure how much pruning one evaluation caused.
+func (s *solver) removedTotal() int64 {
+	return s.stats.RemovedDegree0 + s.stats.RemovedWinnow + s.stats.RemovedChain +
+		s.stats.RemovedEliminate + s.stats.Computed
+}
+
+// notePruning feeds one evaluation's removal delta into the EWMA the cost
+// model consults (initialized lazily from the first sample).
+func (s *solver) notePruning(delta int64) {
+	d := float64(delta)
+	if s.pruneEWMA < 0 {
+		s.pruneEWMA = d
+		return
+	}
+	s.pruneEWMA = 0.75*s.pruneEWMA + 0.25*d
+}
+
+// runBatch evaluates the next ≤64 active vertices starting at vstart with
+// one MS-BFS and commits the results in index order. Returns false when
+// the traversal was aborted by cancellation (the caller breaks the main
+// loop, exactly like a cut-short single BFS).
+//
+// Checkpoint contract: the barrier stays armed across the whole batch with
+// NextVertex = vstart, so a snapshot taken mid-batch (or the one written
+// on abort) resumes by redoing the entire batch — sound because nothing is
+// committed until the traversal finishes, and the resumed run re-collects
+// the identical source list from the restored state.
+func (s *solver) runBatch(vstart int) bool {
+	n := len(s.ecc)
+	sources := s.batchBuf[:0]
+	last := vstart
+	for w := vstart; w < n && len(sources) < 64; w++ {
+		if s.ecc[w] == Active {
+			sources = append(sources, graph.Vertex(w))
+			last = w
+		}
+	}
+	s.batchBuf = sources
+	tr := s.opt.Trace
+	tr.BatchStart(len(sources))
+	s.stats.MSBFSBatches++
+	s.stats.MSBFSSources += int64(len(sources))
+	useRows := s.opt.Batch.Rows && !s.opt.DisableEliminate
+
+	s.ck.loopV = vstart
+	tEcc := time.Now()
+	s.ck.armed = true
+	res := s.e.MultiSourceRun(sources, useRows)
+	s.ck.armed = false
+	s.stats.TimeEcc += time.Since(tEcc)
+
+	if res.Aborted {
+		// Each truncated per-source level count still lower-bounds that
+		// source's eccentricity; keep the best one, record nothing as
+		// exact, and persist the interruption point.
+		for i := range sources {
+			if res.Ecc[i] > s.bound {
+				s.bound = res.Ecc[i]
+				s.witnessA, s.witnessB = sources[i], res.Witness[i]
+			}
+		}
+		if tr != nil {
+			tr.Instant("run", "cancelled")
+		}
+		s.writeCheckpoint(int64(vstart))
+		return false
+	}
+	if checkedBuild {
+		s.checkBatchEcc(sources, res.Ecc)
+	}
+
+	committed, discarded := 0, 0
+	for i, src := range sources {
+		if s.ecc[src] != Active {
+			// An earlier commit's winnow/eliminate already removed this
+			// source: its batch slot is wasted work, never state.
+			discarded++
+			s.stats.MSBFSDiscarded++
+			continue
+		}
+		committed++
+		s.ck.calls++
+		vecc := res.Ecc[i]
+		s.stats.EccBFS++
+		before := s.removedTotal()
+		s.setComputed(src, vecc)
+		switch {
+		case vecc > s.bound:
+			old := s.bound
+			s.bound = vecc
+			s.witnessA, s.witnessB = src, res.Witness[i]
+			s.stats.BoundImprovements++
+			tr.BoundImproved(old, vecc, src)
+			if !s.opt.DisableWinnow {
+				s.winnow()
+			}
+			if !s.opt.DisableEliminate {
+				tEl := time.Now()
+				s.extendEliminated(old)
+				s.stats.TimeEliminate += time.Since(tEl)
+			}
+		case vecc < s.bound && !s.opt.DisableEliminate:
+			tEl := time.Now()
+			if useRows {
+				s.eliminateFromRow(src, res.Rows[i], vecc, s.bound)
+			} else {
+				s.eliminateFrom([]graph.Vertex{src}, vecc, s.bound, StageEliminate)
+			}
+			s.stats.TimeEliminate += time.Since(tEl)
+		}
+		s.notePruning(s.removedTotal() - before)
+		s.observeProgress()
+	}
+	tr.BatchDone(committed, discarded)
+	s.ckptAfterVertex(last + 1)
+	return true
+}
+
+// eliminateFromRow is eliminateFrom specialized to a precomputed distance
+// row: row[v] = d(src, v) (-1 if unreachable), as returned by the MS-BFS
+// batch that just computed ecc(src) = startVal. It reproduces the partial
+// BFS's write policy and Stats accounting exactly — BFS level sets are
+// contiguous, so the vertices Partial would report across its completed
+// levels are precisely those with 1 ≤ row[v] ≤ limit−startVal — at the
+// cost of one linear scan instead of a ball traversal.
+func (s *solver) eliminateFromRow(src graph.Vertex, row []int32, startVal, limit int32) {
+	if startVal >= limit {
+		return
+	}
+	s.stats.EliminateCalls++
+	if checkedBuild {
+		s.checkEliminateRow(src, row, startVal, limit)
+	}
+	tr := s.opt.Trace
+	if tr != nil {
+		tr.Begin("stage", "eliminate",
+			obs.I("seeds", int64(1)), obs.I("radius", int64(limit-startVal)))
+	}
+	radius := limit - startVal
+	var visited int64
+	for v, k := range row {
+		if k < 1 || k > radius {
+			continue
+		}
+		visited++
+		val := startVal + k
+		switch cur := s.ecc[v]; {
+		case cur == Active:
+			if checkedBuild {
+				s.checkRecord(graph.Vertex(v), cur, val)
+			}
+			s.ecc[v] = val
+			s.stage[v] = StageEliminate
+			s.stats.RemovedEliminate++
+		case cur != Winnowed && val < cur:
+			if checkedBuild {
+				s.checkRecord(graph.Vertex(v), cur, val)
+			}
+			s.ecc[v] = val
+		}
+	}
+	s.stats.EliminateVisited += visited
+	if tr != nil {
+		tr.End("stage", "eliminate", obs.I("removed_total", s.stats.RemovedEliminate))
+	}
+}

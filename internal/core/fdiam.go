@@ -113,6 +113,13 @@ type solver struct {
 	baseDirSwitches int64
 	t0              time.Time
 
+	// MS-BFS batching cost-model state (batch.go). pruneEWMA tracks the
+	// recent removals-per-evaluation average (-1 until the first main-loop
+	// evaluation seeds it); batchBuf is the reused ≤64-source collection
+	// buffer.
+	pruneEWMA float64
+	batchBuf  []graph.Vertex
+
 	stats Stats
 }
 
@@ -126,12 +133,13 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 	e.SetAlphaBeta(opt.BFSAlpha, opt.BFSBeta)
 	e.SetTracer(opt.Trace)
 	s := &solver{
-		g:        g,
-		e:        e,
-		opt:      opt,
-		ctx:      context.Background(),
-		witnessA: graph.NoVertex,
-		witnessB: graph.NoVertex,
+		g:         g,
+		e:         e,
+		opt:       opt,
+		ctx:       context.Background(),
+		witnessA:  graph.NoVertex,
+		witnessB:  graph.NoVertex,
+		pruneEWMA: -1,
 	}
 	return s
 }
@@ -354,6 +362,20 @@ func (s *solver) run() Result {
 			completed = false
 			break
 		}
+		// Batched evaluation (§DESIGN 11): when the cost model says the
+		// remaining survivors are bulk work, consume the next ≤64 of them
+		// with one bit-parallel MS-BFS instead of one BFS each. runBatch
+		// commits in index order, so resuming the loop scan at v simply
+		// skips the vertices the batch computed (or pruned).
+		if s.batchEligible() {
+			if !s.runBatch(v) {
+				completed = false
+				break
+			}
+			// v was the batch's first source and is now computed; every
+			// other source the batch committed fails the Active check.
+			continue
+		}
 		s.ck.loopV = v
 		s.ck.calls++
 		tEcc = time.Now()
@@ -376,6 +398,7 @@ func (s *solver) run() Result {
 			completed = false
 			break
 		}
+		before := s.removedTotal()
 		s.setComputed(graph.Vertex(v), vecc)
 		switch {
 		case vecc > s.bound:
@@ -404,6 +427,8 @@ func (s *solver) run() Result {
 			// vecc == bound: only v itself is removed (already
 			// done by setComputed).
 		}
+		// Cost-model feedback: this evaluation's pruning yield (batch.go).
+		s.notePruning(s.removedTotal() - before)
 		s.observeProgress()
 		s.ckptAfterVertex(v + 1)
 	}

@@ -50,6 +50,17 @@ type Stats struct {
 	// (not persisted across resumes — it describes this process's work).
 	Checkpoints int64 `json:"checkpoints"`
 
+	// MS-BFS batching accounting. These describe how the main loop's
+	// evaluations were executed, not what they computed: a batched run
+	// and an unbatched run of the same input agree on every counter
+	// above (EccBFS counts committed sources), while the three below are
+	// zero without batching. MSBFSDiscarded counts batch sources whose
+	// result was thrown away because an earlier commit of the same batch
+	// pruned them first — the batching scheme's wasted work.
+	MSBFSBatches   int64 `json:"msbfs_batches"`
+	MSBFSSources   int64 `json:"msbfs_sources"`
+	MSBFSDiscarded int64 `json:"msbfs_discarded"`
+
 	// Stage timings (Figure 8).
 	TimeInit      time.Duration `json:"time_init_ns"` // setup: state arrays, degree-0 pass
 	TimeEcc       time.Duration `json:"time_ecc_ns"`  // eccentricity BFS traversals (incl. 2-sweep)

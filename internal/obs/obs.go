@@ -121,7 +121,8 @@ type Run struct {
 
 	// Per-run instruments, resolved once against the registry.
 	cTraversals, cLevels, cSwitches, cImprovements *Counter
-	gBound, gActive                                *Gauge
+	cBatches, cBatchSources                        *Counter
+	gBound, gActive, gBatch                        *Gauge
 }
 
 type spanRef struct {
@@ -162,6 +163,12 @@ func NewRun(cfg Config) *Run {
 		"direction switches (top-down <-> bottom-up) across all traversals")
 	r.cImprovements = reg.Counter("fdiam_bound_improvements_total",
 		"main-loop iterations that raised the diameter lower bound")
+	r.cBatches = reg.Counter("fdiam_msbfs_batches_total",
+		"bit-parallel MS-BFS batches issued by the solver's main loop")
+	r.cBatchSources = reg.Counter("fdiam_msbfs_sources_total",
+		"sources launched inside MS-BFS batches")
+	r.gBatch = reg.Gauge("fdiam_msbfs_batch_size",
+		"source count of the most recent MS-BFS batch")
 	r.gBound = reg.Gauge("fdiam_bound",
 		"current diameter lower bound of the observed run")
 	r.gActive = reg.Gauge("fdiam_active_vertices",
@@ -277,6 +284,11 @@ const (
 	StepTopDownParallel
 	StepBottomUpSerial
 	StepBottomUpParallel
+	// StepMSPush and StepMSPull are the bit-parallel multi-source kernels:
+	// push scatters the active frontier's bit words serially, pull gathers
+	// neighbor words over all vertices under the worker pool.
+	StepMSPush
+	StepMSPull
 )
 
 func (s Step) String() string {
@@ -289,22 +301,27 @@ func (s Step) String() string {
 		return "bu-serial"
 	case StepBottomUpParallel:
 		return "bu-parallel"
+	case StepMSPush:
+		return "ms-push"
+	case StepMSPull:
+		return "ms-pull"
 	default:
 		return "invalid"
 	}
 }
 
-// dir returns the step's direction arg value (0 = top-down, 1 = bottom-up);
-// parallel returns its parallelism arg value (0 = serial, 1 = parallel).
+// dir returns the step's direction arg value (0 = top-down/push, 1 =
+// bottom-up/pull); parallel returns its parallelism arg value (0 = serial,
+// 1 = parallel).
 func (s Step) dir() int64 {
-	if s == StepBottomUpSerial || s == StepBottomUpParallel {
+	if s == StepBottomUpSerial || s == StepBottomUpParallel || s == StepMSPull {
 		return 1
 	}
 	return 0
 }
 
 func (s Step) parallel() int64 {
-	if s == StepTopDownParallel || s == StepBottomUpParallel {
+	if s == StepTopDownParallel || s == StepBottomUpParallel || s == StepMSPull {
 		return 1
 	}
 	return 0
@@ -392,6 +409,32 @@ func (r *Run) BoundImproved(old, new int32, source uint32) {
 	r.gBound.Set(int64(new))
 	r.emit(Event{Kind: KindInstant, Cat: "bound", Name: "improved", TS: r.since(),
 		Args: []Arg{I("old", int64(old)), I("new", int64(new)), I("source", int64(source))}})
+}
+
+// BatchStart records the launch of one bit-parallel MS-BFS batch of the
+// given source count. The "msbfs" traversal span that follows carries the
+// per-level detail; this instant plus the counters/gauge summarize batch
+// cadence for /metrics.
+func (r *Run) BatchStart(sources int) {
+	if r == nil {
+		return
+	}
+	r.cBatches.Inc()
+	r.cBatchSources.Add(int64(sources))
+	r.gBatch.Set(int64(sources))
+	r.emit(Event{Kind: KindInstant, Cat: "batch", Name: "msbfs", TS: r.since(),
+		Args: []Arg{I("sources", int64(sources))}})
+}
+
+// BatchDone records the commit outcome of an MS-BFS batch: how many of its
+// sources were committed as exact eccentricities and how many were
+// discarded because an earlier commit's pruning removed them first.
+func (r *Run) BatchDone(committed, discarded int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindInstant, Cat: "batch", Name: "commit", TS: r.since(),
+		Args: []Arg{I("committed", int64(committed)), I("discarded", int64(discarded))}})
 }
 
 // SetStage updates the /progress stage label ("init", "2-sweep", "winnow",
