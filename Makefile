@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test race lint checked bench-msbfs fuzz-smoke chaos serve fmt clean
+.PHONY: all build test race lint checked bench-msbfs bench-obs fuzz-smoke chaos serve fmt clean
 
 all: build test
 
@@ -32,6 +32,12 @@ checked:
 # BENCH_pr6.json snapshot.
 bench-msbfs:
 	$(GO) run ./cmd/experiments -run ext-msbfs -runs 5 -json BENCH_pr6.json
+
+# bench-obs measures the telemetry layer's overhead (disarmed vs armed
+# histograms vs full per-request tracing) over the same catalog and
+# refreshes the BENCH_pr7.json snapshot.
+bench-obs:
+	$(GO) run ./cmd/experiments -run ext-obs -runs 5 -workers 4 -json BENCH_pr7.json
 
 fuzz-smoke:
 	$(GO) test -tags fdiam.checked -fuzz=FuzzDiameterMatchesNaive -fuzztime=15s -run='^$$' ./internal/core/

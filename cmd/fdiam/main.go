@@ -83,6 +83,8 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Duration("progress", 0, "log a one-line progress status to stderr at this interval; fdiam only")
 	ckDir := fs.String("checkpoint-dir", "", "write crash-safe snapshots here and auto-resume from an existing one; fdiam only")
 	ckEvery := fs.Duration("checkpoint-interval", 0, "snapshot cadence (0 = solver default 10s); fdiam only")
+	logFormat := fs.String("log-format", "", "emit structured solver logs to stderr: text or json (empty = off)")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug includes stage and bound events)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +105,12 @@ func run(args []string, out io.Writer) error {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "fdiam: serving /metrics, /progress, /debug/pprof on http://%s\n", srv.Addr())
+		// A scrapeable process arms the histograms and the runtime
+		// sampler; without -http they stay disarmed so the solver's
+		// zero-overhead default holds.
+		obs.Default().ArmHistograms(true)
+		stopSampler := obs.StartRuntimeSampler(obs.Default(), 10*time.Second)
+		defer stopSampler()
 	}
 
 	if *cpuProfile != "" {
@@ -151,6 +159,13 @@ func run(args []string, out io.Writer) error {
 	// second interrupt falls back to the default handler and kills it.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
+	if *logFormat != "" {
+		lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+		if err != nil {
+			return err
+		}
+		ctx = obs.ContextWithLogger(ctx, lg)
+	}
 
 	start := time.Now()
 	switch *algo {

@@ -11,7 +11,16 @@
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /metrics           Prometheus text format (fdiamd_* + solver)
 //	GET  /progress          live snapshot of the current run
+//	GET  /progress/stream   SSE feed of bound-corridor + progress events
 //	GET  /debug/pprof/      standard profiling tree
+//
+// POST /diameter?stream=bounds streams the solve as Server-Sent Events:
+// one `bound` event per corridor tightening ({lb, ub, witness_a,
+// witness_b, elapsed_ns}) and a terminal `result` event carrying the
+// normal response JSON. POST /diameter?trace=1 embeds a Chrome trace of
+// the solve in the response. Every response echoes X-Request-ID (accepted
+// from the client or minted), and with -log-format/-log-level set the
+// daemon emits structured access and solver logs joinable on request_id.
 //
 // The `timeout` query parameter (a Go duration, e.g. ?timeout=30s) bounds
 // one solve; a timed-out solve responds 200 with "timed_out": true and the
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"fdiam/internal/fault"
+	"fdiam/internal/obs"
 	"fdiam/internal/serve"
 )
 
@@ -76,6 +86,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ckDir := fs.String("checkpoint-dir", "", "persist crash-safe snapshots of in-flight solves here and resume them on boot (empty = off)")
 	ckEvery := fs.Duration("checkpoint-interval", 10*time.Second, "snapshot cadence for checkpointed solves")
 	faults := fs.String("faults", "", "fault-injection spec for chaos testing (overrides "+fault.EnvVar+"; see internal/fault)")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error (debug includes per-solve stage and bound events)")
+	runtimeMetrics := fs.Duration("runtime-metrics", 10*time.Second, "runtime self-telemetry sampling interval (heap, GC, goroutines; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +105,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if active := fault.Active(); len(active) != 0 {
 		fmt.Fprintf(out, "fdiamd: fault injection armed: %v\n", active)
 	}
+	lg, err := obs.NewLogger(out, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *runtimeMetrics > 0 {
+		stopSampler := obs.StartRuntimeSampler(obs.Default(), *runtimeMetrics)
+		defer stopSampler()
+	}
 
 	api, err := serve.New(serve.Config{
 		MaxConcurrent:   *maxConcurrent,
@@ -105,6 +126,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CheckpointDir:   *ckDir,
 		CheckpointEvery: *ckEvery,
 		Workers:         *workers,
+		Logger:          lg,
 	})
 	if err != nil {
 		return err

@@ -82,7 +82,7 @@ func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 
 // All returns the project's analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NakedGo, AtomicField, HotAlloc, ErrDrop}
+	return []*Analyzer{NakedGo, AtomicField, HotAlloc, ErrDrop, LogKeys}
 }
 
 // ignoreKey locates one suppression directive: diagnostics from the named

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// LogKeys enforces the structured-logging key conventions (DESIGN.md §12):
+// every key handed to a log/slog entry point — the Logger/package-level
+// Debug/Info/Warn/Error families, Log, With, Group, and the typed Attr
+// constructors — must be a compile-time string constant whose value is
+// snake_case. Constant keys make log lines greppable and joinable (the
+// obs.Key* constants are the vocabulary); snake_case keeps one spelling
+// per field across the JSON output. Dynamic keys and camelCase literals
+// are exactly the drift this analyzer exists to stop.
+var LogKeys = &Analyzer{
+	Name: "logkeys",
+	Doc: "require log/slog attribute keys to be snake_case string constants " +
+		"(use the obs.Key* vocabulary)",
+	Run: runLogKeys,
+}
+
+// slogKVStart maps the slog call names that take alternating key/value
+// arguments to the index of the first such argument (after msg, ctx and
+// level parameters).
+var slogKVStart = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log":  3,
+	"With": 0,
+}
+
+// slogAttrCtor names the typed slog.Attr constructors; their first argument
+// is the key.
+var slogAttrCtor = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Time": true, "Duration": true,
+	"Any": true, "Group": true,
+}
+
+func runLogKeys(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+				return true
+			}
+			name := fn.Name()
+			switch {
+			case slogAttrCtor[name]:
+				if len(call.Args) > 0 {
+					checkLogKey(pass, call.Args[0], name)
+				}
+				if name == "Group" {
+					checkLogKVs(pass, call, 1)
+				}
+			default:
+				if start, ok := slogKVStart[name]; ok {
+					checkLogKVs(pass, call, start)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLogKVs walks the variadic tail of a key/value-style slog call. A
+// slog.Attr argument fills one slot on its own (its constructor was checked
+// where it was built); anything else is a key followed by its value.
+func checkLogKVs(pass *Pass, call *ast.CallExpr, start int) {
+	if call.Ellipsis.IsValid() {
+		return // args... spread: the slice contents are not visible here
+	}
+	for i := start; i < len(call.Args); {
+		arg := call.Args[i]
+		if isSlogAttr(pass, arg) {
+			i++
+			continue
+		}
+		checkLogKey(pass, arg, calleeName(pass, call))
+		i += 2
+	}
+}
+
+// checkLogKey reports a key argument that is not a snake_case string
+// constant.
+func checkLogKey(pass *Pass, arg ast.Expr, callee string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil {
+		pass.Reportf(arg.Pos(),
+			"slog key in %s call must be a string constant (use the obs.Key* vocabulary)", callee)
+		return
+	}
+	if tv.Value.Kind() != constant.String {
+		return // not a string: the type checker already rejects real misuse
+	}
+	if s := constant.StringVal(tv.Value); !isSnakeCase(s) {
+		pass.Reportf(arg.Pos(), "slog key %q is not snake_case", s)
+	}
+}
+
+// isSnakeCase accepts keys of the form [a-z][a-z0-9]*(_[a-z0-9]+)*.
+func isSnakeCase(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	prevUnderscore := true // leading underscore or digit is rejected below
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			prevUnderscore = false
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+			prevUnderscore = false
+		case c == '_':
+			if prevUnderscore {
+				return false // leading or doubled underscore
+			}
+			prevUnderscore = true
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore // no trailing underscore
+}
+
+// isSlogAttr reports whether the expression's type is log/slog.Attr.
+func isSlogAttr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Attr" && obj.Pkg() != nil && obj.Pkg().Path() == "log/slog"
+}

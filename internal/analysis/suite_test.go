@@ -32,10 +32,14 @@ func TestErrDrop(t *testing.T) {
 	analysistest.Run(t, analysis.ErrDrop, "errdrop", "example.com/errdrop")
 }
 
+func TestLogKeys(t *testing.T) {
+	analysistest.Run(t, analysis.LogKeys, "logkeys", "example.com/logkeys")
+}
+
 // TestAllStableOrder pins the suite composition: the vettool's -V=full
 // version string and CI logs both assume this order.
 func TestAllStableOrder(t *testing.T) {
-	want := []string{"nakedgo", "atomicfield", "hotalloc", "errdrop"}
+	want := []string{"nakedgo", "atomicfield", "hotalloc", "errdrop", "logkeys"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,34 @@
+// Package logkeys is the golden fixture for the logkeys analyzer.
+package logkeys
+
+import (
+	"context"
+	"log/slog"
+)
+
+const keyGood = "graph_hash"
+const keyBad = "graphHash"
+
+var dynamic = "runtime_key"
+
+func ok(lg *slog.Logger, ctx context.Context) {
+	lg.Info("solve_done", keyGood, 1, "elapsed_ms", 2)
+	lg.DebugContext(ctx, "stage", "stage", "winnow")
+	lg.Warn("mixed", slog.Int("vertices_n2", 3), keyGood, 4)
+	lg.With("request_id", "abc").Error("boom", "error", "x")
+	slog.Info("pkg_level", "bound", 7)
+	_ = slog.String("witness_a", "v")
+	_ = slog.Group("batch", "sources_per_batch", 64)
+	lg.Log(ctx, slog.LevelInfo, "msg", "queue_wait_ns", 9)
+}
+
+func bad(lg *slog.Logger, ctx context.Context, args []any) {
+	lg.Info("solve_done", keyBad, 1)           // want `slog key "graphHash" is not snake_case`
+	lg.Info("solve_done", dynamic, 1)          // want `slog key in lg.Info call must be a string constant`
+	lg.Error("x", "Elapsed-MS", 2)             // want `slog key "Elapsed-MS" is not snake_case`
+	lg.WarnContext(ctx, "y", "_leading", 3)    // want `slog key "_leading" is not snake_case`
+	_ = slog.Int("BadKey", 4)                  // want `slog key "BadKey" is not snake_case`
+	_ = slog.Group("Outer", "also_checked", 5) // want `slog key "Outer" is not snake_case`
+	lg.With("trailing_", 6).Info("z")          // want `slog key "trailing_" is not snake_case`
+	lg.Info("spread", args...)                 // variadic spread: not analyzable, allowed
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fdiam/internal/core"
+	"fdiam/internal/obs"
+	"fdiam/internal/stats"
+)
+
+// This file measures the cost of the PR-7 telemetry layer on full solves.
+// Three modes per workload: "off" (histograms disarmed, no tracer — the
+// library default every CLI run and plain daemon solve takes), "armed"
+// (every process-global histogram armed, as in a scraped fdiamd), and
+// "traced" (a per-request obs.Run capturing a Chrome trace, the
+// ?stream=bounds / ?trace=1 path). The claim being pinned: the off column
+// stays within noise of BENCH_pr6.json's batched_ms — telemetry that is
+// not requested must not cost anything.
+
+// ObsOverheadRow is one workload's telemetry-overhead measurement.
+type ObsOverheadRow struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"`
+	Vertices int    `json:"vertices"`
+	Arcs     int64  `json:"arcs"`
+	Diameter int32  `json:"diameter"`
+	// Median wall-clock per full solve, in milliseconds, per mode.
+	OffMillis    float64 `json:"off_ms"`
+	ArmedMillis  float64 `json:"armed_ms"`
+	TracedMillis float64 `json:"traced_ms"`
+	// Overheads relative to off (1.0 = free).
+	ArmedOverhead  float64 `json:"armed_overhead"`
+	TracedOverhead float64 `json:"traced_overhead"`
+}
+
+// ObsOverheadReport is the JSON snapshot written to BENCH_pr7.json.
+type ObsOverheadReport struct {
+	Scale     string           `json:"scale"`
+	Runs      int              `json:"runs"`
+	Workers   int              `json:"workers"`
+	GoMaxProc int              `json:"gomaxprocs"`
+	Rows      []ObsOverheadRow `json:"rows"`
+}
+
+// ObsOverheadComparison solves every workload in the three telemetry modes
+// and reports median runtimes. The armed mode arms (and afterwards disarms)
+// the process-global registry, exactly as a scraped daemon would.
+func ObsOverheadComparison(workloads []*Workload, cfg Config, out io.Writer) ([]ObsOverheadRow, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var rows []ObsOverheadRow
+	for _, w := range workloads {
+		g := w.Graph()
+		opt := core.Options{Workers: cfg.Workers, Timeout: cfg.Timeout}
+
+		var offTimes, armedTimes, tracedTimes []time.Duration
+		var ref core.Result
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			ref = core.Diameter(g, opt)
+			offTimes = append(offTimes, time.Since(start))
+
+			obs.Default().ArmHistograms(true)
+			start = time.Now()
+			armed := core.Diameter(g, opt)
+			armedTimes = append(armedTimes, time.Since(start))
+			obs.Default().ArmHistograms(false)
+
+			var traceBuf bytes.Buffer
+			run := obs.NewRun(obs.Config{Registry: obs.NewRegistry(), ChromeTrace: &traceBuf})
+			tracedOpt := opt
+			tracedOpt.Trace = run
+			start = time.Now()
+			traced := core.Diameter(g, tracedOpt)
+			tracedTimes = append(tracedTimes, time.Since(start))
+			if err := run.Finish(); err != nil {
+				return rows, fmt.Errorf("%s: trace finish: %w", w.Name, err)
+			}
+
+			if ref.TimedOut {
+				break
+			}
+			if armed.Diameter != ref.Diameter || traced.Diameter != ref.Diameter {
+				return rows, fmt.Errorf("%s: telemetry changed the answer: off=%d armed=%d traced=%d",
+					w.Name, ref.Diameter, armed.Diameter, traced.Diameter)
+			}
+		}
+
+		om := stats.MedianDuration(offTimes)
+		am := stats.MedianDuration(armedTimes)
+		tm := stats.MedianDuration(tracedTimes)
+		row := ObsOverheadRow{
+			Name:         w.Name,
+			Class:        w.Class,
+			Vertices:     g.NumVertices(),
+			Arcs:         g.NumArcs(),
+			Diameter:     ref.Diameter,
+			OffMillis:    float64(om) / float64(time.Millisecond),
+			ArmedMillis:  float64(am) / float64(time.Millisecond),
+			TracedMillis: float64(tm) / float64(time.Millisecond),
+		}
+		if om > 0 {
+			row.ArmedOverhead = float64(am) / float64(om)
+			row.TracedOverhead = float64(tm) / float64(om)
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintf(out, "  %-22s off %8.2fms  armed %8.2fms (%4.2fx)  traced %8.2fms (%4.2fx)\n",
+				w.Name, row.OffMillis, row.ArmedMillis, row.ArmedOverhead,
+				row.TracedMillis, row.TracedOverhead)
+		}
+		w.Release()
+	}
+	return rows, nil
+}
+
+// TableObsOverhead renders the comparison as a table.
+func TableObsOverhead(out io.Writer, rows []ObsOverheadRow) {
+	fmt.Fprintln(out, "Telemetry overhead: disarmed (off) vs armed histograms vs full Chrome trace")
+	fmt.Fprintf(out, "%-22s %10s %10s %10s %10s %8s %8s\n",
+		"graph", "vertices", "off ms", "armed ms", "traced ms", "armed", "traced")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %10d %10.2f %10.2f %10.2f %7.2fx %7.2fx\n",
+			r.Name, r.Vertices, r.OffMillis, r.ArmedMillis, r.TracedMillis,
+			r.ArmedOverhead, r.TracedOverhead)
+	}
+}
+
+// WriteObsOverheadJSON writes the snapshot consumed by BENCH_pr7.json.
+func WriteObsOverheadJSON(out io.Writer, scale string, cfg Config, rows []ObsOverheadRow) error {
+	rep := ObsOverheadReport{
+		Scale:     scale,
+		Runs:      cfg.Runs,
+		Workers:   cfg.Workers,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Rows:      rows,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -441,11 +441,14 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 			}
 		}
 		// Tracing pre-work stays off the nil path: the arc sum is O(nf)
-		// and only the trace consumes it.
+		// and only the trace consumes it. The level histogram needs just
+		// the clock, and only when armed.
 		var lvlStart time.Time
 		var lvlArcs int64
-		if tr != nil {
+		if tr != nil || hLevelSeconds.Armed() {
 			lvlStart = time.Now()
+		}
+		if tr != nil {
 			lvlArcs = e.frontierArcs()
 		}
 		var step obs.Step
@@ -476,6 +479,7 @@ func (e *Engine) runWith(kind string, seeds []graph.Vertex, maxLevels int32, dir
 		if onLevel != nil {
 			onLevel(level, e.wl2)
 		}
+		hLevelSeconds.ObserveSince(lvlStart)
 		tr.LevelDone(level, step, len(e.wl2), lvlArcs, unvisited, lvlStart)
 		// After the swap wl1 always holds the deepest non-empty frontier,
 		// so LastFrontier needs no copy.

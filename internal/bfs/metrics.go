@@ -1,0 +1,11 @@
+package bfs
+
+import "fdiam/internal/obs"
+
+// hLevelSeconds times every completed BFS level, single-source and
+// multi-source alike. Registered on the process registry and disarmed by
+// default: a disarmed histogram costs one atomic load per level and no
+// clock read, so the solver's cost model is untouched unless a daemon armed
+// telemetry at boot.
+var hLevelSeconds = obs.Default().Histogram("fdiam_bfs_level_seconds",
+	"wall time per completed BFS level (all kernels)", obs.HistogramOpts{})

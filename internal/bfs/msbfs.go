@@ -170,8 +170,10 @@ func (e *Engine) msRun(sources []graph.Vertex, wantWit, wantRows bool) MultiSour
 		}
 		var lvlStart time.Time
 		var lvlArcs int64
-		if tr != nil {
+		if tr != nil || hLevelSeconds.Armed() {
 			lvlStart = time.Now()
+		}
+		if tr != nil {
 			lvlArcs = e.msActiveArcs()
 		}
 		ms.nextAct = ms.nextAct[:0]
@@ -203,6 +205,7 @@ func (e *Engine) msRun(sources []graph.Vertex, wantWit, wantRows bool) MultiSour
 			}
 		}
 		e.msSwapFrontier(level, wantRows)
+		hLevelSeconds.ObserveSince(lvlStart)
 		tr.LevelDone(level, step, len(ms.nextAct), lvlArcs, n-ms.touched, lvlStart)
 		ms.active, ms.nextAct = ms.nextAct, ms.active
 	}

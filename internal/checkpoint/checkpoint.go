@@ -62,6 +62,8 @@ var (
 	mWriteBytes    = obs.Default().Counter("fdiam_checkpoint_written_bytes_total", "bytes of checkpoint snapshots written")
 	mRestores      = obs.Default().Counter("fdiam_checkpoint_restores_total", "snapshots successfully read and validated for resume")
 	mRestoreErrors = obs.Default().Counter("fdiam_checkpoint_restore_errors_total", "snapshot reads rejected (missing, corrupt, or graph mismatch)")
+	mWriteSeconds  = obs.Default().Histogram("fdiam_checkpoint_write_seconds",
+		"wall time per successful checkpoint write (encode through fsync and rename)", obs.HistogramOpts{})
 )
 
 // ErrCorrupt wraps every integrity failure (bad magic, version, CRC,
@@ -397,6 +399,7 @@ func decode(payload []byte) (*Snapshot, error) {
 // directory, synced, and renamed over path. A failure at any step — disk
 // or injected — leaves any previous snapshot at path untouched.
 func Write(path string, s *Snapshot) (err error) {
+	writeStart := mWriteSeconds.StartTimer()
 	defer func() {
 		if err != nil {
 			mWriteErrors.Inc()
@@ -449,6 +452,7 @@ func Write(path string, s *Snapshot) (err error) {
 	}
 	mWrites.Inc()
 	mWriteBytes.Add(int64(len(magic) + len(payload) + 4))
+	mWriteSeconds.ObserveSince(writeStart)
 	return nil
 }
 

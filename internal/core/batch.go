@@ -112,6 +112,7 @@ func (s *solver) runBatch(vstart int) bool {
 	s.batchBuf = sources
 	tr := s.opt.Trace
 	tr.BatchStart(len(sources))
+	hBatchSources.Observe(int64(len(sources)))
 	s.stats.MSBFSBatches++
 	s.stats.MSBFSSources += int64(len(sources))
 	useRows := s.opt.Batch.Rows && !s.opt.DisableEliminate
@@ -165,6 +166,7 @@ func (s *solver) runBatch(vstart int) bool {
 			s.witnessA, s.witnessB = src, res.Witness[i]
 			s.stats.BoundImprovements++
 			tr.BoundImproved(old, vecc, src)
+			s.publishBounds()
 			if !s.opt.DisableWinnow {
 				s.winnow()
 			}

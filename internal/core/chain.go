@@ -31,6 +31,9 @@ func (s *solver) chains() {
 	tr := s.opt.Trace
 	if tr != nil {
 		tr.SetStage("chain")
+	}
+	s.setStage("chain")
+	if tr != nil {
 		tr.Begin("stage", "chain")
 	}
 	t0 := time.Now()

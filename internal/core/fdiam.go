@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,7 @@ func DiameterCtx(ctx context.Context, g *graph.Graph, opt Options) Result {
 		defer cancel()
 	}
 	s.ctx = ctx
+	s.lg = obs.LoggerFrom(ctx)
 	if ctx.Done() != nil {
 		// The flag flips exactly when ctx is done; AfterFunc avoids both
 		// per-level ctx.Err() mutex traffic and a dedicated watcher
@@ -69,6 +71,19 @@ type solver struct {
 
 	bound int32
 	start graph.Vertex
+
+	// ubCap is the proven diameter upper bound (-1 until one exists). The
+	// 2-sweep establishes it — min(2·ecc(u), n−1) for a connected graph by
+	// the triangle inequality through u, n−1 otherwise — and it holds for
+	// the rest of the run, collapsing to the exact answer at completion.
+	// Published with the lower bound as the streaming [lb, ub] corridor.
+	ubCap int32
+
+	// lg receives the run's structured log lines (stage transitions, bound
+	// improvements, completion). Carried in via the context so fdiamd's
+	// per-request logger makes every line joinable on request_id; defaults
+	// to the shared discard logger.
+	lg *slog.Logger
 
 	// witnessA/witnessB track a vertex pair realizing the current bound:
 	// whenever a BFS establishes a new bound, its source and a vertex of
@@ -137,6 +152,8 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 		e:         e,
 		opt:       opt,
 		ctx:       context.Background(),
+		ubCap:     -1,
+		lg:        obs.DiscardLogger(),
 		witnessA:  graph.NoVertex,
 		witnessB:  graph.NoVertex,
 		pruneEWMA: -1,
@@ -169,10 +186,33 @@ func (s *solver) run() Result {
 		}
 		s.stats.DirSwitches = s.baseDirSwitches + s.e.DirectionSwitches()
 		s.stats.TimeTotal = s.baseTotal + time.Since(tStart)
+		timedOut := cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded)
+		// Terminal corridor event: completion proves the lower bound exact
+		// (lb == ub); an aborted run that never finished its 2-sweep still
+		// reports the trivial n−1 cap rather than "unknown".
+		if !cancelled {
+			s.ubCap = s.bound
+		} else if s.ubCap < 0 {
+			if nv := s.g.NumVertices(); nv > 0 {
+				s.ubCap = int32(nv) - 1
+			}
+		}
+		s.publishBounds()
+		if s.lg.Enabled(s.ctx, slog.LevelInfo) {
+			outcome := "ok"
+			if timedOut {
+				outcome = "timeout"
+			} else if cancelled {
+				outcome = "cancelled"
+			}
+			s.lg.Info("solve_done",
+				obs.KeyDiameter, s.bound, obs.KeyOutcome, outcome,
+				obs.KeyElapsedMS, s.stats.TimeTotal.Milliseconds())
+		}
 		return Result{
 			Diameter:    s.bound,
 			Infinite:    infinite,
-			TimedOut:    cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded),
+			TimedOut:    timedOut,
 			Cancelled:   cancelled,
 			Resumed:     s.resumed,
 			ResumeError: s.resumeErr,
@@ -184,6 +224,9 @@ func (s *solver) run() Result {
 
 	n := s.g.NumVertices()
 	s.stats.Vertices = n
+	if s.lg.Enabled(s.ctx, slog.LevelInfo) {
+		s.lg.Info("solve_start", obs.KeyVertices, int64(n))
+	}
 	tr := s.opt.Trace
 	if tr != nil {
 		tr.SetVertices(int64(n))
@@ -205,6 +248,7 @@ func (s *solver) run() Result {
 	// Initialization: state arrays and the degree-0 pass. Isolated
 	// vertices have eccentricity 0 and need no BFS (Table 4's last
 	// column).
+	s.setStage("init")
 	if tr != nil {
 		tr.SetStage("init")
 		tr.Begin("stage", "init")
@@ -249,6 +293,10 @@ func (s *solver) run() Result {
 	var tEcc time.Time
 	if s.tryResume() {
 		infinite = s.ck.infinite
+		// The snapshot carries no eccentricity of u, so the resumed
+		// corridor opens at the trivial cap.
+		s.ubCap = int32(n) - 1
+		s.publishBounds()
 	} else {
 		// Starting vertex: the maximum-degree vertex u (§3), or — for the
 		// "no 'u'" ablation — the first vertex with at least one edge.
@@ -260,6 +308,7 @@ func (s *solver) run() Result {
 
 		// Initial diameter via 2-sweep (§4.1): ecc(u), then the eccentricity
 		// of a vertex w maximally far from u becomes the initial bound.
+		s.setStage("2-sweep")
 		if tr != nil {
 			tr.SetStage("2-sweep")
 			tr.Begin("stage", "2-sweep", obs.I("start", int64(s.start)))
@@ -288,6 +337,14 @@ func (s *solver) run() Result {
 		// A BFS from start reaches exactly its component; together with the
 		// isolated-vertex count this decides connectivity with no extra pass.
 		infinite = n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
+		// First proven upper bound: any a–b path detours through u, so
+		// d(a,b) ≤ 2·ecc(u) when the graph is connected; n−1 regardless.
+		s.ubCap = int32(n) - 1
+		if !infinite {
+			if ub := 2 * int64(uEcc); ub < int64(s.ubCap) {
+				s.ubCap = int32(ub)
+			}
+		}
 		s.setComputed(s.start, uEcc)
 		w := s.e.LastFrontier()[0]
 		s.bound = uEcc
@@ -314,6 +371,7 @@ func (s *solver) run() Result {
 		if tr != nil {
 			tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
 		}
+		s.publishBounds()
 		endSweep()
 		if s.cancelled() {
 			return finish(infinite)
@@ -342,6 +400,7 @@ func (s *solver) run() Result {
 	}
 
 	// Main loop (Algorithm 1): evaluate the remaining active vertices.
+	s.setStage("main-loop")
 	if tr != nil {
 		tr.SetStage("main-loop")
 		tr.Begin("stage", "main-loop")
@@ -409,6 +468,7 @@ func (s *solver) run() Result {
 			s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
 			s.stats.BoundImprovements++
 			tr.BoundImproved(old, vecc, uint32(v))
+			s.publishBounds()
 			if !s.opt.DisableWinnow {
 				s.winnow()
 			}
@@ -441,6 +501,30 @@ func (s *solver) run() Result {
 		tr.End("stage", "main-loop", obs.I("computed", s.stats.Computed))
 	}
 	return finish(infinite)
+}
+
+// publishBounds streams the current [lower, upper] corridor with its
+// witness pair to the run's bound subscribers (fdiamd's SSE streams) and
+// logs it at debug level. No-op cost without a tracer and with the discard
+// logger: one nil check and one Enabled check.
+func (s *solver) publishBounds() {
+	if tr := s.opt.Trace; tr != nil {
+		tr.PublishBounds(int64(s.bound), int64(s.ubCap),
+			int64(s.witnessA), int64(s.witnessB))
+	}
+	if s.lg.Enabled(s.ctx, slog.LevelDebug) {
+		s.lg.Debug("bound_tightened",
+			obs.KeyBound, s.bound, obs.KeyUpper, s.ubCap,
+			obs.KeyWitnessA, int64(s.witnessA), obs.KeyWitnessB, int64(s.witnessB))
+	}
+}
+
+// setStage mirrors the tracer's stage label into the structured log, so a
+// debug-level request log shows the solver's phase transitions.
+func (s *solver) setStage(stage string) {
+	if s.lg.Enabled(s.ctx, slog.LevelDebug) {
+		s.lg.Debug("stage", obs.KeyStage, stage)
+	}
 }
 
 // observeProgress pushes the live bound and active-vertex count to the

@@ -1,0 +1,10 @@
+package core
+
+import "fdiam/internal/obs"
+
+// hBatchSources records the per-batch source-count distribution of the
+// MS-BFS batching layer (the fdiam_msbfs_batch_size gauge only keeps the
+// latest). Buckets 1..64 match the lane count; disarmed by default like
+// every histogram (see obs.Registry.ArmHistograms).
+var hBatchSources = obs.Default().Histogram("fdiam_msbfs_batch_sources",
+	"sources per bit-parallel MS-BFS batch", obs.SizeOpts(6))

@@ -30,6 +30,9 @@ func (s *solver) winnow() {
 	tr := s.opt.Trace
 	if tr != nil {
 		tr.SetStage("winnow")
+	}
+	s.setStage("winnow")
+	if tr != nil {
 		tr.Begin("stage", "winnow",
 			obs.I("depth", int64(depth)), obs.I("from_depth", int64(s.winnowDepth)))
 	}

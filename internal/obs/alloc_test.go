@@ -56,3 +56,39 @@ func TestNilTraceSolverPath(t *testing.T) {
 			plain.Stats.String(), traced.Stats.String())
 	}
 }
+
+// TestDisarmedHistogramIsAllocationFree pins the "zero-cost when off"
+// contract of the telemetry histograms: a disarmed Observe is one atomic
+// load, StartTimer skips the clock read entirely, and PublishBounds on a
+// nil run is a nil check. These run on the solver's per-level and per-batch
+// paths, so an allocation here is a hot-path regression.
+func TestDisarmedHistogramIsAllocationFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("alloc_test_seconds", "disarmed hot-path histogram", obs.HistogramOpts{})
+	var nilRun *obs.Run
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		start := h.StartTimer()
+		h.ObserveSince(start)
+		nilRun.PublishBounds(1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Errorf("disarmed histogram path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestArmedHistogramRecordIsAllocationFree: arming may cost atomics and a
+// clock read, but never an allocation.
+func TestArmedHistogramRecordIsAllocationFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("alloc_armed_seconds", "armed hot-path histogram", obs.HistogramOpts{})
+	h.Arm(true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		start := h.StartTimer()
+		h.ObserveSince(start)
+	})
+	if allocs != 0 {
+		t.Errorf("armed histogram record allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an allocation-free, lock-free latency/size distribution with
+// fixed log-scaled buckets and Prometheus histogram exposition
+// (_bucket/_sum/_count). Buckets are powers of two: bucket k holds every
+// observation v with v <= 2^k (raw units), for k in [MinPow, MaxPow], plus a
+// final +Inf bucket for the overflow. The power-of-two scheme keeps the
+// record path to a handful of instructions — one bit-length, two atomic adds
+// — which is what lets the solver observe per-BFS-level durations without
+// touching the kernels' cost model.
+//
+// A Histogram can be disarmed (the default for registry-created ones): a
+// disarmed or nil histogram's Observe is a single atomic load and return,
+// with no allocation and no clock read, pinned by AllocsPerRun in the test
+// suite. Arming is process-lifecycle (fdiamd boot, fdiam -http), never
+// per-request.
+type Histogram struct {
+	armed atomic.Bool
+
+	minPow, maxPow int
+	// scale divides raw observed units into exposition units (1e9 turns
+	// nanosecond observations into the conventional seconds buckets;
+	// 1 leaves counts as counts).
+	scale float64
+	// labels is the pre-rendered, escaped `k="v",...` pair list (without
+	// braces or the le pair) this instance carries in its sample lines.
+	labels string
+
+	// counts[i] holds bucket MinPow+i; the final element is +Inf.
+	counts []atomic.Int64
+	sum    atomic.Int64
+}
+
+// HistogramOpts sizes a histogram's bucket range.
+type HistogramOpts struct {
+	// MinPow and MaxPow bound the finite buckets: upper bounds 2^MinPow ..
+	// 2^MaxPow in raw units. Observations below clamp into the first
+	// bucket, above land in +Inf. MinPow == MaxPow == 0 selects the
+	// nanosecond-latency default (2^10 ns ≈ 1 µs .. 2^34 ns ≈ 17 s).
+	MinPow, MaxPow int
+	// Scale converts raw units to exposition units (0 selects 1e9,
+	// matching nanosecond observations exposed as seconds).
+	Scale float64
+}
+
+func (o HistogramOpts) withDefaults() HistogramOpts {
+	if o.MinPow == 0 && o.MaxPow == 0 {
+		o.MinPow, o.MaxPow = 10, 34
+	}
+	if o.MaxPow < o.MinPow {
+		o.MaxPow = o.MinPow
+	}
+	if o.Scale == 0 {
+		o.Scale = 1e9
+	}
+	return o
+}
+
+// SizeOpts returns bucket options for count-valued histograms (batch sizes,
+// queue depths): unit scale, upper bounds 1 .. 2^maxPow.
+func SizeOpts(maxPow int) HistogramOpts {
+	return HistogramOpts{MinPow: 0, MaxPow: maxPow, Scale: 1}
+}
+
+func newHistogram(opts HistogramOpts, labels string, armed bool) *Histogram {
+	opts = opts.withDefaults()
+	h := &Histogram{
+		minPow: opts.MinPow,
+		maxPow: opts.MaxPow,
+		scale:  opts.Scale,
+		labels: labels,
+		counts: make([]atomic.Int64, opts.MaxPow-opts.MinPow+2),
+	}
+	h.armed.Store(armed)
+	return h
+}
+
+// Arm enables (or disables) recording. Nil-safe.
+func (h *Histogram) Arm(on bool) {
+	if h == nil {
+		return
+	}
+	h.armed.Store(on)
+}
+
+// Armed reports whether the histogram records observations. Nil-safe; callers
+// use it to skip the clock reads that produce the observed values in the
+// first place.
+func (h *Histogram) Armed() bool { return h != nil && h.armed.Load() }
+
+// Observe records one value in raw units. A nil or disarmed histogram
+// returns after one atomic load, allocation-free.
+//
+//fdiam:hotpath
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.armed.Load() {
+		return
+	}
+	h.record(v, 1)
+}
+
+// ObserveN records n identical observations (the runtime sampler folds
+// runtime/metrics bucket deltas in through this). Nil-safe.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 || !h.armed.Load() {
+		return
+	}
+	h.record(v, n)
+}
+
+// record is the shared armed path: bucket index by bit length — the
+// smallest k with v <= 2^k is bits.Len64(v-1) — clamped into the
+// configured range, overflow into the trailing +Inf slot.
+//
+//fdiam:hotpath
+func (h *Histogram) record(v, n int64) {
+	idx := 0
+	if v > 1 {
+		idx = bits.Len64(uint64(v-1)) - h.minPow
+		if idx < 0 {
+			idx = 0
+		} else if idx > len(h.counts)-1 {
+			idx = len(h.counts) - 1
+		}
+	}
+	h.counts[idx].Add(n)
+	h.sum.Add(v * n)
+}
+
+// StartTimer returns the clock for a later ObserveSince, or the zero time
+// when the histogram is disarmed — so disabled instrumentation never reads
+// the clock at all. Nil-safe.
+func (h *Histogram) StartTimer() time.Time {
+	if h == nil || !h.armed.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the nanoseconds elapsed since start. A zero start
+// (from a disarmed StartTimer) is ignored, so the pattern
+//
+//	t := h.StartTimer()
+//	...work...
+//	h.ObserveSince(t)
+//
+// is correct whether or not the histogram is armed, and free when it isn't.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || start.IsZero() || !h.armed.Load() {
+		return
+	}
+	h.record(int64(time.Since(start)), 1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of observed raw values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}

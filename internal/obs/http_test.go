@@ -55,8 +55,8 @@ func TestServeEndpoints(t *testing.T) {
 	if found == 0 {
 		t.Errorf("/metrics has no fdiam_-prefixed series:\n%s", body)
 	}
-	if ms["fdiam_bound"].value != int64(res.Diameter) {
-		t.Errorf("fdiam_bound = %d, want %d", ms["fdiam_bound"].value, res.Diameter)
+	if ms["fdiam_bound"].value() != int64(res.Diameter) {
+		t.Errorf("fdiam_bound = %d, want %d", ms["fdiam_bound"].value(), res.Diameter)
 	}
 
 	code, body = get(t, base+"/progress")

@@ -117,7 +117,8 @@ type Run struct {
 	stack        []spanRef
 	curTraversal string
 
-	prog progressState
+	prog   progressState
+	bounds boundSubs
 
 	// Per-run instruments, resolved once against the registry.
 	cTraversals, cLevels, cSwitches, cImprovements *Counter
@@ -175,6 +176,7 @@ func NewRun(cfg Config) *Run {
 		"vertices still under consideration in the observed run")
 	stage := "init"
 	r.prog.stage.Store(&stage)
+	r.prog.upper.Store(-1)
 	SetCurrent(r)
 	return r
 }
@@ -205,6 +207,7 @@ func (r *Run) Finish() error {
 		return nil
 	}
 	r.prog.markDoneAt(time.Since(r.start))
+	r.closeBoundSubs()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var first error

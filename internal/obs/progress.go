@@ -15,6 +15,7 @@ type progressState struct {
 	stage        atomic.Pointer[string]
 	vertices     atomic.Int64
 	bound        atomic.Int64
+	upper        atomic.Int64 // proven diameter upper bound; -1 = none yet
 	active       atomic.Int64
 	traversals   atomic.Int64
 	levels       atomic.Int64
@@ -38,6 +39,9 @@ type Snapshot struct {
 	Stage string `json:"stage"`
 	// Bound is the current diameter lower bound.
 	Bound int64 `json:"bound"`
+	// Upper is the current proven diameter upper bound, -1 while none is
+	// known (before the 2-sweep completes).
+	Upper int64 `json:"upper"`
 	// ActiveVertices counts vertices still under consideration.
 	ActiveVertices int64 `json:"active_vertices"`
 	// Vertices is the input size.
@@ -63,6 +67,7 @@ func (r *Run) Snapshot() Snapshot {
 	s := Snapshot{
 		State:             "running",
 		Bound:             p.bound.Load(),
+		Upper:             p.upper.Load(),
 		ActiveVertices:    p.active.Load(),
 		Vertices:          p.vertices.Load(),
 		BFSTraversals:     p.traversals.Load(),

@@ -19,4 +19,10 @@ var (
 		"Pool worker goroutines alive across all pools (parked between jobs).")
 	gWorkersBusy = obs.Default().Gauge("fdiam_par_workers_busy",
 		"Participants (caller included) inside pool jobs right now.")
+	// hDispatchWait is disarmed by default (see obs.Registry.ArmHistograms):
+	// the armed cost is one clock pair per dispatch that actually waited,
+	// never per chunk.
+	hDispatchWait = obs.Default().Histogram("fdiam_par_dispatch_wait_seconds",
+		"Time the dispatching caller spends waiting for pool workers to drain a job after finishing its own chunks.",
+		obs.HistogramOpts{})
 )

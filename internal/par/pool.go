@@ -147,7 +147,9 @@ func (p *Pool) ForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
 	gWorkersBusy.Add(int64(workers))
 	runChunks(j, 0)
 	if waiters > 0 {
+		waitStart := hDispatchWait.StartTimer()
 		<-j.done
+		hDispatchWait.ObserveSince(waitStart)
 	}
 	gWorkersBusy.Add(int64(-workers))
 }

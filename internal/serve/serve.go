@@ -5,6 +5,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -12,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -107,6 +109,11 @@ type Config struct {
 	// so the daemon's /metrics endpoint exposes solver and serving
 	// counters side by side.
 	Registry *obs.Registry
+
+	// Logger receives the daemon's structured log lines: the per-request
+	// access log plus the request-scoped solver events, all joinable on
+	// request_id. nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c *Config) withDefaults() Config {
@@ -147,6 +154,7 @@ type Server struct {
 	graphs  *graphCache
 	results *resultCache
 	mux     *http.ServeMux
+	lg      *slog.Logger
 
 	mRequests      *obs.Counter
 	mRejected      *obs.Counter
@@ -160,6 +168,7 @@ type Server struct {
 	gInflight      *obs.Gauge
 	gQueued        *obs.Gauge
 	gGraphBytes    *obs.Gauge
+	hQueueWait     *obs.Histogram
 }
 
 // New builds a Server from cfg. It fails only when cfg.GraphDir is set
@@ -192,6 +201,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("checkpoint dir: %w", err)
 		}
 	}
+	s.lg = cfg.Logger
+	if s.lg == nil {
+		s.lg = obs.DiscardLogger()
+	}
 	reg := cfg.Registry
 	s.mRequests = reg.Counter("fdiamd_requests_total", "diameter requests received")
 	s.mRejected = reg.Counter("fdiamd_rejected_total", "requests rejected because the admission queue was full")
@@ -205,26 +218,19 @@ func New(cfg Config) (*Server, error) {
 	s.gInflight = reg.Gauge("fdiamd_inflight_solves", "solves currently running")
 	s.gQueued = reg.Gauge("fdiamd_queued_solves", "solves waiting for a slot")
 	s.gGraphBytes = reg.Gauge("fdiamd_graph_cache_bytes", "resident bytes in the parsed-graph cache")
+	s.hQueueWait = reg.Histogram("fdiamd_queue_wait_seconds",
+		"time admitted solves spend waiting for an execution slot", obs.HistogramOpts{})
+	// A serving daemon is always scraped, so its histograms run armed; the
+	// library default stays disarmed (see obs.Registry.ArmHistograms).
+	reg.ArmHistograms(true)
 
 	s.mux.HandleFunc("/diameter", s.handleDiameter)
+	s.mux.HandleFunc("/progress/stream", s.handleProgressStream)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	// Everything else falls through to the shared introspection mux:
 	// /metrics, /progress, /debug/pprof.
 	s.mux.Handle("/", obs.NewMux(reg))
 	return s, nil
-}
-
-// ServeHTTP dispatches through the panic-recovery middleware: a panicking
-// handler (e.g. a checked-build invariant violation inside the solver)
-// becomes a 500 for that request instead of killing the daemon.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.mPanics.Inc()
-			http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
-		}
-	}()
-	s.mux.ServeHTTP(w, r)
 }
 
 // Shutdown makes the server drain: new solves are refused with 503,
@@ -266,18 +272,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // consumers need not know the internal NoVertex sentinel; the cache
 // fields let clients and tests observe which layers were hit.
 type response struct {
-	Diameter       int32       `json:"diameter"`
-	Infinite       bool        `json:"infinite"`
-	TimedOut       bool        `json:"timed_out"`
-	Cancelled      bool        `json:"cancelled"`
-	Resumed        bool        `json:"resumed,omitempty"`
-	WitnessA       int64       `json:"witness_a"`
-	WitnessB       int64       `json:"witness_b"`
-	ElapsedNS      int64       `json:"elapsed_ns"`
-	GraphHash      string      `json:"graph_hash"`
-	GraphCacheHit  bool        `json:"graph_cache_hit"`
-	ResultCacheHit bool        `json:"result_cache_hit"`
-	Stats          *core.Stats `json:"stats,omitempty"`
+	Diameter       int32  `json:"diameter"`
+	Infinite       bool   `json:"infinite"`
+	TimedOut       bool   `json:"timed_out"`
+	Cancelled      bool   `json:"cancelled"`
+	Resumed        bool   `json:"resumed,omitempty"`
+	WitnessA       int64  `json:"witness_a"`
+	WitnessB       int64  `json:"witness_b"`
+	ElapsedNS      int64  `json:"elapsed_ns"`
+	GraphHash      string `json:"graph_hash"`
+	GraphCacheHit  bool   `json:"graph_cache_hit"`
+	ResultCacheHit bool   `json:"result_cache_hit"`
+	RequestID      string `json:"request_id,omitempty"`
+	// Trace is the solve's Chrome trace-event JSON, present when the
+	// request asked for ?trace=1 (load it in Perfetto or chrome://tracing).
+	Trace json.RawMessage `json:"trace,omitempty"`
+	Stats *core.Stats     `json:"stats,omitempty"`
 }
 
 func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +304,15 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	lg := obs.LoggerFrom(r.Context())
+
+	q := r.URL.Query()
+	streamBounds := q.Get("stream") == "bounds"
+	if mode := q.Get("stream"); mode != "" && !streamBounds {
+		http.Error(w, fmt.Sprintf("stream: unknown mode %q (only \"bounds\")", mode), http.StatusBadRequest)
+		return
+	}
+	wantTrace := q.Get("trace") == "1"
 
 	timeout, err := s.requestTimeout(r)
 	if err != nil {
@@ -302,6 +321,9 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	}
 	data, status, err := s.requestGraphBytes(w, r)
 	if err != nil {
+		// The access log records the status; this line adds the cause
+		// (staged-read failures especially), still under this request_id.
+		lg.Warn("graph_read_failed", obs.KeyError, err.Error())
 		http.Error(w, err.Error(), status)
 		return
 	}
@@ -312,7 +334,11 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	// graph content, so repeat requests skip admission entirely.
 	if res, ok := s.results.get(key); ok {
 		s.mResultHits.Inc()
-		s.writeResult(w, key, res, 0, true, true)
+		if streamBounds {
+			s.streamCached(w, r, key, res)
+			return
+		}
+		s.writeResult(w, r, key, res, 0, true, true, nil)
 		return
 	}
 
@@ -344,9 +370,11 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	defer s.admitted.Add(-1)
 
 	s.gQueued.Add(1)
+	queueStart := s.hQueueWait.StartTimer()
 	select {
 	case s.slots <- struct{}{}:
 		s.gQueued.Add(-1)
+		s.hQueueWait.ObserveSince(queueStart)
 	case <-r.Context().Done():
 		s.gQueued.Add(-1)
 		return // client went away while queued; nothing to write
@@ -359,43 +387,87 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 
 	// The solve context layers shutdown (baseCtx), the client connection
 	// and the per-request deadline: whichever fires first stops the run
-	// at its next BFS level boundary.
+	// at its next BFS level boundary. The request's logger and ID are
+	// re-attached because baseCtx is deliberately not a child of the
+	// request context (a drain must not wait on slow clients).
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	stopClientWatch := context.AfterFunc(r.Context(), cancel)
 	defer stopClientWatch()
+	ctx = obs.ContextWithRequestID(obs.ContextWithLogger(ctx, lg), obs.RequestIDFrom(r.Context()))
+
+	// Request-scoped observability run: bound streaming subscribes to it,
+	// ?trace=1 captures its Chrome trace. Plain solves keep a nil tracer —
+	// the zero-cost default.
+	var run *obs.Run
+	var traceBuf *bytes.Buffer
+	if streamBounds || wantTrace {
+		runCfg := obs.Config{Registry: s.cfg.Registry}
+		if wantTrace {
+			traceBuf = &bytes.Buffer{}
+			runCfg.ChromeTrace = traceBuf
+		}
+		run = obs.NewRun(runCfg)
+	}
+	opt := core.Options{Workers: s.cfg.Workers, Timeout: timeout, Checkpoint: ck, Trace: run}
 
 	s.gInflight.Add(1)
 	start := time.Now()
-	res := core.DiameterCtx(ctx, g, core.Options{Workers: s.cfg.Workers, Timeout: timeout, Checkpoint: ck})
+	if streamBounds {
+		sg := solveGraph{solve: func(ctx context.Context) core.Result {
+			return core.DiameterCtx(ctx, g, opt)
+		}}
+		resp := func(res core.Result) response {
+			out := s.buildResponse(r, key, res, time.Since(start), hit, false)
+			if traceBuf != nil {
+				out.Trace = json.RawMessage(traceBuf.Bytes())
+			}
+			return out
+		}
+		res, _ := s.streamSolve(ctx, w, run, sg, resp)
+		s.gInflight.Add(-1)
+		s.publishOutcome(key, g, hit, res)
+		return
+	}
+	res := core.DiameterCtx(ctx, g, opt)
+	if run != nil {
+		_ = run.Finish()
+	}
 	elapsed := time.Since(start)
 	s.gInflight.Add(-1)
+	s.publishOutcome(key, g, hit, res)
+	s.writeResult(w, r, key, res, elapsed, hit, false, traceBuf)
+}
 
+// publishOutcome settles a finished solve into the caches and counters: a
+// cancelled run leaves its checkpoint directory for resume, a completed one
+// publishes to both caches (unless the injected cache-write fault drops the
+// publication) and retires its checkpoint directory.
+func (s *Server) publishOutcome(key string, g *graph.Graph, graphHit bool, res core.Result) {
 	if res.Cancelled {
 		// A cancelled checkpointed solve deliberately leaves its directory
 		// behind: the snapshot inside is exactly what ResumeOrphans (or a
 		// retrying client) continues from.
 		s.mCancelled.Inc()
-	} else {
-		if res.Resumed {
-			s.mResumes.Inc()
-		}
-		if faultCacheWrite.Hit() {
-			// Injected cache-write failure: the result is still served,
-			// only the caches stay cold for the next request.
-		} else {
-			if hit {
-				s.mGraphHits.Inc()
-			} else {
-				s.mGraphMisses.Inc()
-				s.graphs.add(key, g)
-				s.gGraphBytes.Set(s.graphs.bytes())
-			}
-			s.results.add(key, res)
-		}
-		s.clearCheckpointDir(key)
+		return
 	}
-	s.writeResult(w, key, res, elapsed, hit, false)
+	if res.Resumed {
+		s.mResumes.Inc()
+	}
+	if faultCacheWrite.Hit() {
+		// Injected cache-write failure: the result is still served,
+		// only the caches stay cold for the next request.
+	} else {
+		if graphHit {
+			s.mGraphHits.Inc()
+		} else {
+			s.mGraphMisses.Inc()
+			s.graphs.add(key, g)
+			s.gGraphBytes.Set(s.graphs.bytes())
+		}
+		s.results.add(key, res)
+	}
+	s.clearCheckpointDir(key)
 }
 
 // requestTimeout resolves the effective solve deadline: the request's
@@ -631,17 +703,15 @@ func (s *Server) resumeOrphan(key string) bool {
 	return true
 }
 
-func (s *Server) writeResult(w http.ResponseWriter, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool) {
+func (s *Server) buildResponse(r *http.Request, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool) response {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
 			return -1
 		}
 		return int64(v)
 	}
-	w.Header().Set("Content-Type", "application/json")
 	stats := res.Stats
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(response{
+	return response{
 		Diameter:       res.Diameter,
 		Infinite:       res.Infinite,
 		TimedOut:       res.TimedOut,
@@ -653,6 +723,18 @@ func (s *Server) writeResult(w http.ResponseWriter, key string, res core.Result,
 		GraphHash:      key,
 		GraphCacheHit:  graphHit,
 		ResultCacheHit: resultHit,
+		RequestID:      obs.RequestIDFrom(r.Context()),
 		Stats:          &stats,
-	})
+	}
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, key string, res core.Result,
+	elapsed time.Duration, graphHit, resultHit bool, traceBuf *bytes.Buffer) {
+	resp := s.buildResponse(r, key, res, elapsed, graphHit, resultHit)
+	if traceBuf != nil {
+		resp.Trace = json.RawMessage(traceBuf.Bytes())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(resp)
 }

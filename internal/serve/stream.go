@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fdiam/internal/core"
+	"fdiam/internal/graph"
+	"fdiam/internal/obs"
+)
+
+// SSE event names of the streaming endpoints. The protocol (DESIGN.md §12):
+// `bound` events carry a BoundEvent JSON object (the corridor [lb, ub] with
+// its witness pair), `progress` events carry an obs.Snapshot, and a
+// `result` event carrying the full /diameter response JSON terminates a
+// bounds-streamed solve.
+const (
+	sseEventBound    = "bound"
+	sseEventProgress = "progress"
+	sseEventResult   = "result"
+)
+
+// sseStart prepares w for Server-Sent Events and returns the flusher.
+// Returns false (having written the error) when the connection cannot
+// stream.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Del("Content-Length")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
+}
+
+// writeSSE writes one event. v is JSON-encoded as the data line; json
+// output contains no raw newlines, so one data line is always enough.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// snapshotBound synthesizes a corridor event from a run's progress
+// snapshot, for subscribers that attach when no fresh publication will
+// arrive (a finished run, or one between publications). The snapshot does
+// not carry the witness pair, so the witnesses are -1.
+func snapshotBound(s obs.Snapshot) obs.BoundEvent {
+	return obs.BoundEvent{
+		LB: s.Bound, UB: s.Upper, WitnessA: -1, WitnessB: -1,
+		ElapsedNS: int64(s.ElapsedSeconds * float64(time.Second)),
+	}
+}
+
+// handleProgressStream is GET /progress/stream: an SSE feed of the
+// process-wide observed run. On connect it emits the current run's corridor
+// as a `bound` event (if any run exists, finished or not), then forwards
+// every bound improvement as it happens, interleaved with periodic
+// `progress` snapshots. When the observed run finishes, the stream waits
+// for the next run and follows it. Closes cleanly on client disconnect and
+// on daemon drain.
+func (s *Server) handleProgressStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET streams the observed run's progress", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
+
+	var followed *obs.Run
+	if run := obs.Current(); run != nil {
+		// Immediate corridor on connect: a client (or the CI smoke)
+		// attaching after a solve still sees where the bound stands.
+		if writeSSE(w, fl, sseEventBound, snapshotBound(run.Snapshot())) != nil {
+			return
+		}
+		if run.Snapshot().State == "done" {
+			followed = run // only re-follow once a *new* run appears
+		}
+	}
+
+	poll := time.NewTicker(200 * time.Millisecond)
+	defer poll.Stop()
+	progress := time.NewTicker(time.Second)
+	defer progress.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-poll.C:
+		}
+		run := obs.Current()
+		if run == nil || run == followed {
+			continue
+		}
+		followed = run
+		ch, cancelSub := run.SubscribeBounds(16)
+		err := func() error {
+			defer cancelSub()
+			for {
+				select {
+				case <-r.Context().Done():
+					return context.Canceled
+				case <-s.baseCtx.Done():
+					return context.Canceled
+				case ev, chOK := <-ch:
+					if !chOK {
+						return nil // run finished; wait for the next one
+					}
+					if err := writeSSE(w, fl, sseEventBound, ev); err != nil {
+						return err
+					}
+				case <-progress.C:
+					if err := writeSSE(w, fl, sseEventProgress, run.Snapshot()); err != nil {
+						return err
+					}
+				}
+			}
+		}()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// streamSolve runs one admitted solve while streaming its bound corridor as
+// SSE (`POST /diameter?stream=bounds`). Every corridor tightening becomes a
+// `bound` event; the terminal `result` event carries the same response JSON
+// a non-streaming request would have received. The solve is cancelled by
+// the same layered context as a plain solve (drain, client disconnect,
+// deadline), and the subscriber channel closing is what ends the loop — the
+// solver's Finish guarantees that.
+func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter,
+	run *obs.Run, g solveGraph, resp func(core.Result) response) (core.Result, bool) {
+	fl, ok := sseStart(w)
+	if !ok {
+		// Admission was already paid; solve anyway and discard the stream.
+		res := g.solve(ctx)
+		return res, false
+	}
+	ch, cancelSub := run.SubscribeBounds(64)
+	defer cancelSub()
+	done := make(chan core.Result, 1)
+	//fdiamlint:ignore nakedgo solve worker for one SSE request; joined via the done channel before return
+	go func() {
+		res := g.solve(ctx)
+		// Finish closes every bound subscriber, ending the event loop
+		// below even if the client is still connected.
+		_ = run.Finish()
+		done <- res
+	}()
+	for ev := range ch {
+		if writeSSE(w, fl, sseEventBound, ev) != nil {
+			// Client went away: the layered context cancels the solve at
+			// its next level boundary; keep draining events until Finish.
+			break
+		}
+	}
+	res := <-done
+	_ = writeSSE(w, fl, sseEventResult, resp(res))
+	return res, true
+}
+
+// streamCached serves a result-cache hit in streaming form: the corridor is
+// already collapsed, so one bound event with lb == ub == diameter precedes
+// the terminal result event. Clients thus see the same protocol shape
+// whether or not the solve actually ran.
+func (s *Server) streamCached(w http.ResponseWriter, r *http.Request, key string, res core.Result) {
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	witness := func(v uint32) int64 {
+		if v == graph.NoVertex {
+			return -1
+		}
+		return int64(v)
+	}
+	_ = writeSSE(w, fl, sseEventBound, obs.BoundEvent{
+		LB: int64(res.Diameter), UB: int64(res.Diameter),
+		WitnessA: witness(res.WitnessA), WitnessB: witness(res.WitnessB),
+	})
+	_ = writeSSE(w, fl, sseEventResult, s.buildResponse(r, key, res, 0, true, true))
+}
+
+// solveGraph packages the one-shot solve closure handed to streamSolve so
+// the streaming path runs exactly the solver invocation the plain path
+// would.
+type solveGraph struct {
+	solve func(context.Context) core.Result
+}
