@@ -1,0 +1,3 @@
+module negative.example/fdiam
+
+go 1.24

@@ -148,7 +148,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		// backlog of crashed solves still answers health checks instantly.
 		//fdiamlint:ignore nakedgo boot-time recovery, bounded by the solve slot pool and baseCtx
 		go func() {
-			if n := api.ResumeOrphans(); n > 0 {
+			if n := api.ResumeOrphans(context.Background()); n > 0 {
 				fmt.Fprintf(out, "fdiamd: finished %d orphaned solve(s) from %s\n", n, *ckDir)
 			}
 		}()

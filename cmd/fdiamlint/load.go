@@ -42,15 +42,29 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// checkPackage parses and type-checks one package's files and runs the
-// analyzer suite over it, returning the surviving diagnostics.
+// checkOpts configures one checkPackage run.
+type checkOpts struct {
+	// analyzers to apply; nil means the full suite. FactsOnly skips them
+	// entirely (dependency packages contribute summaries, not findings).
+	analyzers []*analysis.Analyzer
+	factsOnly bool
+	// deps carries the decoded fact sets of the package's dependencies.
+	deps analysis.Facts
+	// reportUnused enables the stale-suppression check (-unused-ignores).
+	reportUnused bool
+}
+
+// checkPackage parses and type-checks one package's files, builds its fact
+// substrate on top of deps, and (unless factsOnly) runs the analyzer suite
+// over it. It returns the surviving diagnostics plus the facts to export
+// for the package's dependents.
 func checkPackage(fset *token.FileSet, pkgPath string, filenames []string,
-	imp types.Importer) ([]analysis.Diagnostic, error) {
+	imp types.Importer, opts checkOpts) ([]analysis.Diagnostic, analysis.Facts, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -58,9 +72,21 @@ func checkPackage(fset *token.FileSet, pkgPath string, filenames []string,
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return analysis.RunAnalyzers(analysis.All(), fset, files, pkg, info)
+	if opts.factsOnly {
+		sums := analysis.BuildSummaries(fset, files, pkg, info, opts.deps)
+		return nil, sums.Export(), nil
+	}
+	analyzers := opts.analyzers
+	if analyzers == nil {
+		analyzers = analysis.All()
+	}
+	res, err := analysis.RunSuite(analyzers, fset, files, pkg, info, analysis.SuiteOptions{
+		Deps:         opts.deps,
+		ReportUnused: opts.reportUnused,
+	})
+	return res.Diagnostics, res.Facts, err
 }
 
 // printDiagnostics renders diagnostics in the conventional

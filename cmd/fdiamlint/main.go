@@ -34,7 +34,8 @@ func main() {
 			return
 		case a == "-flags" || a == "--flags":
 			// cmd/go interrogates vet tools for their flag set; the suite
-			// is not configurable, so the answer is empty.
+			// is not configurable through vet, so the answer is empty
+			// (standalone-mode flags like -only stay out of the protocol).
 			fmt.Println("[]")
 			return
 		case a == "-h" || a == "-help" || a == "--help":
@@ -45,16 +46,69 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
+
+	// Standalone-mode flags precede the package patterns.
+	var opts standaloneOpts
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch arg := args[0]; {
+		case arg == "-unused-ignores":
+			opts.unusedIgnores = true
+		case strings.HasPrefix(arg, "-only="):
+			names, err := pickAnalyzers(strings.TrimPrefix(arg, "-only="))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
+				os.Exit(1)
+			}
+			opts.analyzers = names
+		default:
+			fmt.Fprintf(os.Stderr, "fdiamlint: unknown flag %s\n", arg)
+			usage(os.Stderr)
+			os.Exit(1)
+		}
+		args = args[1:]
+	}
 	if len(args) == 0 {
 		usage(os.Stderr)
 		os.Exit(1)
 	}
-	os.Exit(standalone(args))
+	if opts.analyzers != nil && opts.unusedIgnores {
+		// A partial run cannot tell a stale directive from one whose
+		// analyzer was skipped.
+		fmt.Fprintf(os.Stderr, "fdiamlint: -unused-ignores requires the full suite (drop -only)\n")
+		os.Exit(1)
+	}
+	os.Exit(standalone(args, opts))
+}
+
+// pickAnalyzers resolves a comma-separated -only list against the suite.
+func pickAnalyzers(csv string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q in -only", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return picked, nil
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: fdiamlint <packages>   (e.g. fdiamlint ./...)\n")
-	fmt.Fprintf(w, "   or: go vet -vettool=$(which fdiamlint) <packages>\n\nanalyzers:\n")
+	fmt.Fprintf(w, "usage: fdiamlint [-only=a,b] [-unused-ignores] <packages>   (e.g. fdiamlint ./...)\n")
+	fmt.Fprintf(w, "   or: go vet -vettool=$(which fdiamlint) <packages>\n\nflags (standalone mode only):\n")
+	fmt.Fprintf(w, "  -only=<names>    run only the named analyzers (comma-separated)\n")
+	fmt.Fprintf(w, "  -unused-ignores  also report //fdiamlint:ignore directives that suppress nothing\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -9,6 +9,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+
+	"fdiam/internal/analysis"
 )
 
 // listedPackage is the subset of `go list -json` output the standalone
@@ -17,20 +19,32 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
+// standaloneOpts carries the command-line configuration into the
+// standalone driver.
+type standaloneOpts struct {
+	analyzers     []*analysis.Analyzer // nil = full suite
+	unusedIgnores bool
+}
+
 // standalone loads the packages matched by patterns plus their transitive
 // dependencies' export data via the go command, analyzes every matched
-// (non-dependency) package, and prints diagnostics. Returns the process
-// exit code.
-func standalone(patterns []string) int {
+// (non-dependency) package, and prints diagnostics. Module dependencies
+// that are not themselves targets still get a facts-only pass, so the
+// interprocedural analyzers see cross-package summaries exactly as the
+// vettool mode's vetx exchange provides them. `go list -deps` streams in
+// dependency-first order, so each package's dep facts exist before it is
+// reached. Returns the process exit code.
+func standalone(patterns []string, opts standaloneOpts) int {
 	goArgs := append([]string{
 		"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Error",
 	}, patterns...)
 	cmd := exec.Command("go", goArgs...)
 	cmd.Stderr = os.Stderr
@@ -40,7 +54,7 @@ func standalone(patterns []string) int {
 		return 1
 	}
 
-	var targets []*listedPackage
+	var pkgs []*listedPackage
 	packageFile := make(map[string]string)
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -58,24 +72,35 @@ func standalone(patterns []string) int {
 		if p.Export != "" {
 			packageFile[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
-			targets = append(targets, &p)
+		if !p.Standard && len(p.GoFiles) > 0 {
+			pkgs = append(pkgs, &p)
 		}
 	}
 
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, nil, packageFile)
+	factsByPath := make(map[string]analysis.Facts)
 	exit := 0
-	for _, p := range targets {
+	for _, p := range pkgs {
 		filenames := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
 			filenames[i] = filepath.Join(p.Dir, f)
 		}
-		diags, err := checkPackage(fset, p.ImportPath, filenames, imp)
+		deps := analysis.Facts{}
+		for _, dep := range p.Imports {
+			deps.Merge(factsByPath[dep])
+		}
+		diags, facts, err := checkPackage(fset, p.ImportPath, filenames, imp, checkOpts{
+			analyzers:    opts.analyzers,
+			factsOnly:    p.DepOnly,
+			deps:         deps,
+			reportUnused: opts.unusedIgnores,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fdiamlint: %s: %v\n", p.ImportPath, err)
 			return 1
 		}
+		factsByPath[p.ImportPath] = facts
 		if len(diags) > 0 {
 			printDiagnostics(os.Stdout, fset, diags)
 			exit = 2

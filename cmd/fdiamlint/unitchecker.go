@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+
+	"fdiam/internal/analysis"
 )
 
 // vetConfig mirrors the JSON configuration cmd/go hands a vet tool for
@@ -33,8 +35,16 @@ type vetConfig struct {
 
 // unitcheck analyzes one package unit described by a cfg file, per the
 // `go vet -vettool` protocol: diagnostics go to stderr, the vetx facts
-// file must be produced either way (the suite exchanges no facts, so it is
-// a marker file), and the exit code is 2 iff diagnostics were reported.
+// file must be produced for every unit (dependency or target alike — it
+// carries the function summaries the interprocedural analyzers consume
+// across package boundaries), and the exit code is 2 iff diagnostics were
+// reported.
+//
+// Standard-library units short-circuit with an empty fact set: their
+// bodies are never analyzed (the stdlib tables in facts.go are the ground
+// truth for them), which also spares `go vet` a full source typecheck of
+// the standard library. Module dependencies (VetxOnly) are parsed and
+// summarized but produce no diagnostics.
 func unitcheck(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -46,22 +56,53 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "fdiamlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	if err := writeVetx(cfg.VetxOutput); err != nil {
-		fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
-		return 1
-	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+	// cmd/go marks only a unit's *imports* in Standard, never the unit
+	// itself; what identifies a standard-library unit is its empty
+	// ModulePath (the stdlib belongs to no module). Both are checked in
+	// case either convention shifts.
+	if cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0 {
+		if err := writeVetx(cfg.VetxOutput, analysis.Facts{}); err != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
+			return 1
+		}
 		return 0
+	}
+
+	deps := analysis.Facts{}
+	for path, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing dep facts degrade to the stdlib tables
+		}
+		depFacts, err := analysis.DecodeFacts(payload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: decoding facts of %s: %v\n", path, err)
+			return 1
+		}
+		deps.Merge(depFacts)
 	}
 
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, cfg.ImportMap, cfg.PackageFile)
-	diags, err := checkPackage(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	diags, facts, err := checkPackage(fset, cfg.ImportPath, cfg.GoFiles, imp, checkOpts{
+		factsOnly: cfg.VetxOnly,
+		deps:      deps,
+	})
 	if err != nil {
+		// Facts for an unanalyzable unit are empty rather than absent, so
+		// dependent units still load.
+		if werr := writeVetx(cfg.VetxOutput, analysis.Facts{}); werr != nil {
+			fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", werr)
+			return 1
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "fdiamlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "fdiamlint: %v\n", err)
 		return 1
 	}
 	if len(diags) == 0 {
@@ -71,11 +112,15 @@ func unitcheck(cfgFile string) int {
 	return 2
 }
 
-// writeVetx produces the (empty) facts file cmd/go requires from every
-// vet tool run, dependency or target alike.
-func writeVetx(path string) error {
+// writeVetx serializes facts into the vetx file cmd/go requires from
+// every vet tool run.
+func writeVetx(path string, facts analysis.Facts) error {
 	if path == "" {
 		return nil
 	}
-	return os.WriteFile(path, []byte("fdiamlint: no facts\n"), 0o666)
+	payload, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, payload, 0o666)
 }

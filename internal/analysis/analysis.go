@@ -17,6 +17,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -44,6 +45,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Summaries is the package's fact substrate — per-function summaries
+	// plus imported dependency facts — built once per suite run and shared
+	// by the interprocedural analyzers (ctxflow, deepalloc).
+	Summaries *Summaries
 	// Report delivers a diagnostic to the driver. Drivers install a
 	// suppression-aware sink; analyzers should call Reportf instead.
 	Report func(Diagnostic)
@@ -80,9 +85,12 @@ func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	})
 }
 
-// All returns the project's analyzer suite in a stable order.
+// All returns the project's analyzer suite in a stable order. The first
+// five are the intra-procedural checks from PR 3; the last three ride on
+// the interprocedural fact substrate (callgraph.go, facts.go).
 func All() []*Analyzer {
-	return []*Analyzer{NakedGo, AtomicField, HotAlloc, ErrDrop, LogKeys}
+	return []*Analyzer{NakedGo, AtomicField, HotAlloc, ErrDrop, LogKeys,
+		CtxFlow, DeepAlloc, BoundMono}
 }
 
 // ignoreKey locates one suppression directive: diagnostics from the named
@@ -93,34 +101,67 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// directive is one parsed //fdiamlint:ignore comment, tracked for
+// suppression hygiene: reasonless directives are themselves diagnostics,
+// and reasoned directives that suppressed nothing are flagged stale under
+// -unused-ignores.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reasoned bool
+	hit      bool
+}
+
+// exemptFromHygiene reports whether the directive sits where the hygiene
+// rules do not apply: analyzer golden fixtures (testdata trees exercise
+// the grammar deliberately) and test files (which the analyzers skip, so
+// a directive there can never be hit).
+func (d *directive) exemptFromHygiene() bool {
+	norm := filepath.ToSlash(d.file)
+	return strings.Contains(norm, "/testdata/") ||
+		strings.HasPrefix(norm, "testdata/") ||
+		strings.HasSuffix(norm, "_test.go")
+}
+
 // Suppressor indexes //fdiamlint:ignore directives across a package.
 //
 //	//fdiamlint:ignore nakedgo server lifecycle goroutine, not compute work
 //	go s.srv.Serve(ln)
 //
 // A directive must name the analyzer and give a non-empty justification;
-// a bare `//fdiamlint:ignore nakedgo` is intentionally inert, so every
-// suppression in the tree documents why the rule does not apply.
+// a bare `//fdiamlint:ignore nakedgo` suppresses nothing, and is itself
+// reported outside testdata, so every suppression in the tree documents
+// why the rule does not apply.
 type Suppressor struct {
-	keys map[ignoreKey]bool
+	keys       map[ignoreKey]*directive
+	directives []*directive
 }
 
 // NewSuppressor scans the comments of files for ignore directives.
 func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
-	s := &Suppressor{keys: make(map[ignoreKey]bool)}
+	s := &Suppressor{keys: make(map[ignoreKey]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//fdiamlint:ignore ")
-				if !ok {
+				rest, ok := strings.CutPrefix(c.Text, "//fdiamlint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ') {
 					continue
 				}
 				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
-				if name == "" || strings.TrimSpace(reason) == "" {
-					continue // no justification: directive is inert
-				}
 				pos := fset.Position(c.Pos())
-				s.keys[ignoreKey{pos.Filename, pos.Line, name}] = true
+				d := &directive{
+					pos:      c.Pos(),
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reasoned: name != "" && strings.TrimSpace(reason) != "",
+				}
+				s.directives = append(s.directives, d)
+				if d.reasoned {
+					s.keys[ignoreKey{d.file, d.line, name}] = d
+				}
 			}
 		}
 	}
@@ -128,17 +169,68 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at pos is
-// covered by an ignore directive on the same line or the line above.
+// covered by an ignore directive on the same line or the line above, and
+// marks the covering directive used.
 func (s *Suppressor) Suppressed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
-	return s.keys[ignoreKey{p.Filename, p.Line, analyzer}] ||
-		s.keys[ignoreKey{p.Filename, p.Line - 1, analyzer}]
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if d, ok := s.keys[ignoreKey{p.Filename, line, analyzer}]; ok {
+			d.hit = true
+			return true
+		}
+	}
+	return false
 }
 
-// RunAnalyzers applies analyzers to one loaded package and returns the
-// surviving (non-suppressed) diagnostics in source order of discovery.
-func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// HygieneDiagnostics reports the suppression-discipline findings after a
+// suite run: reasonless directives always, and — when reportUnused is set
+// (a full-suite run, where "no diagnostic suppressed" is meaningful) —
+// reasoned directives that covered nothing.
+func (s *Suppressor) HygieneDiagnostics(reportUnused bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.exemptFromHygiene() {
+			continue
+		}
+		switch {
+		case !d.reasoned:
+			out = append(out, Diagnostic{Pos: d.pos, Message: "suppress: " +
+				"//fdiamlint:ignore without an analyzer name and justification suppresses nothing; " +
+				"write `//fdiamlint:ignore <analyzer> <reason>` or delete it"})
+		case reportUnused && !d.hit:
+			out = append(out, Diagnostic{Pos: d.pos, Message: fmt.Sprintf(
+				"suppress: stale //fdiamlint:ignore %s directive suppressed no diagnostic; delete it",
+				d.analyzer)})
+		}
+	}
+	return out
+}
+
+// SuiteOptions configures one RunSuite invocation.
+type SuiteOptions struct {
+	// Deps carries the imported fact sets of the package's dependencies
+	// (decoded vetx payloads in the vettool driver, in-memory maps in the
+	// standalone driver). Nil means stdlib tables only.
+	Deps Facts
+	// ReportUnused enables stale-suppression detection. Only meaningful
+	// when the full analyzer suite runs: a partial run would misreport
+	// directives for the analyzers that were skipped.
+	ReportUnused bool
+}
+
+// SuiteResult is RunSuite's output: surviving diagnostics plus the facts
+// to export for dependents.
+type SuiteResult struct {
+	Diagnostics []Diagnostic
+	Facts       Facts
+	Summaries   *Summaries
+}
+
+// RunSuite builds the package's fact substrate, applies the analyzers, and
+// appends the suppression-hygiene findings.
+func RunSuite(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, opts SuiteOptions) (SuiteResult, error) {
+	sums := BuildSummaries(fset, files, pkg, info, opts.Deps)
 	sup := NewSuppressor(fset, files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -148,6 +240,7 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Summaries: sums,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -157,10 +250,21 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			}
 		}
 		if err := a.Run(pass); err != nil {
-			return out, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return SuiteResult{Diagnostics: out}, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	return out, nil
+	out = append(out, sup.HygieneDiagnostics(opts.ReportUnused)...)
+	return SuiteResult{Diagnostics: out, Facts: sums.Export(), Summaries: sums}, nil
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// surviving (non-suppressed) diagnostics in source order of discovery.
+// It is RunSuite without dependency facts or hygiene options, kept for
+// drivers that need only diagnostics.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	res, err := RunSuite(analyzers, fset, files, pkg, info, SuiteOptions{})
+	return res.Diagnostics, err
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// FuncFact is one function's interprocedural summary: everything the
+// cross-package analyzers (ctxflow, deepalloc) need to know about a callee
+// without seeing its body. Facts are computed per package by BuildSummaries
+// and serialized through the vetx side channel of the `go vet -vettool`
+// protocol, so a unit sees the summaries of every dependency it imports.
+type FuncFact struct {
+	// Blocks records that calling the function may park the calling
+	// goroutine: a channel operation, a select without default, or a call
+	// to something that blocks (transitively, via the fixpoint in
+	// BuildSummaries). BlockWhy is the first witness found.
+	Blocks   bool   `json:"b,omitempty"`
+	BlockWhy string `json:"bw,omitempty"`
+	// Allocates records that the function performs work hotalloc would
+	// reject in a //fdiam:hotpath body — make, growing append, time.Now,
+	// fmt — directly or via a callee. AllocWhy is the first witness.
+	Allocates bool   `json:"a,omitempty"`
+	AllocWhy  string `json:"aw,omitempty"`
+	// TakesCtx records that the first parameter is a context.Context.
+	TakesCtx bool `json:"c,omitempty"`
+	// Hotpath records a //fdiam:hotpath annotation: the function is an
+	// audited kernel, so deepalloc stops propagating Allocates through it
+	// (hotalloc checks its body directly).
+	Hotpath bool `json:"h,omitempty"`
+	// WritesBounds records that the function writes the solver's
+	// monotone bound state (ecc/stage/bound/ubCap) — only ever true for
+	// functions in internal/core, where boundmono polices the writes.
+	WritesBounds bool `json:"wb,omitempty"`
+}
+
+// Facts maps a function's types.Func FullName — e.g.
+// "(*sync.WaitGroup).Wait" or "fdiam/internal/par.For" — to its summary.
+type Facts map[string]FuncFact
+
+// factsHeader versions the vetx payload. Decode treats any file that does
+// not start with it (including the pre-facts marker files older fdiamlint
+// builds wrote) as an empty fact set rather than an error, so mixed caches
+// degrade to intra-package analysis instead of breaking `go vet`.
+const factsHeader = "fdiamlint-facts-v1\n"
+
+// Encode serializes facts deterministically (sorted keys) for the vetx file.
+func (f Facts) Encode() ([]byte, error) {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]FuncFact, len(f))
+	for _, k := range keys {
+		ordered[k] = f[k]
+	}
+	body, err := json.Marshal(ordered)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(factsHeader), body...), nil
+}
+
+// DecodeFacts parses a vetx payload produced by Encode. Unrecognized or
+// legacy payloads yield an empty, usable fact set.
+func DecodeFacts(data []byte) (Facts, error) {
+	rest, ok := strings.CutPrefix(string(data), factsHeader)
+	if !ok {
+		return Facts{}, nil
+	}
+	f := Facts{}
+	if err := json.Unmarshal([]byte(rest), &f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Merge folds other into f, preferring existing entries (a package's own
+// summary wins over a re-exported copy from a dependency).
+func (f Facts) Merge(other Facts) {
+	for k, v := range other {
+		if _, ok := f[k]; !ok {
+			f[k] = v
+		}
+	}
+}
+
+// stdlibBlocking is the curated table of standard-library calls the
+// analyzers treat as blocking. Stdlib units carry no computed facts (their
+// bodies are never analyzed), so this table is the ground truth for them.
+// Mutex/RWMutex locks and plain file I/O are deliberately absent: treating
+// every micro-critical-section or disk read as "blocking" would make the
+// ctxflow rules fire on essentially every function in the tree.
+var stdlibBlocking = map[string]string{
+	"(*sync.WaitGroup).Wait":               "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":                    "sync.Cond.Wait",
+	"time.Sleep":                           "time.Sleep",
+	"net.Dial":                             "net.Dial",
+	"net.DialTimeout":                      "net.DialTimeout",
+	"(*net.Dialer).Dial":                   "net.Dialer.Dial",
+	"(*net.Dialer).DialContext":            "net.Dialer.DialContext",
+	"(*os/exec.Cmd).Run":                   "exec.Cmd.Run",
+	"(*os/exec.Cmd).Wait":                  "exec.Cmd.Wait",
+	"(*os/exec.Cmd).Output":                "exec.Cmd.Output",
+	"(*os/exec.Cmd).CombinedOutput":        "exec.Cmd.CombinedOutput",
+	"(*net/http.Client).Do":                "http.Client.Do",
+	"(*net/http.Client).Get":               "http.Client.Get",
+	"(*net/http.Client).Head":              "http.Client.Head",
+	"(*net/http.Client).Post":              "http.Client.Post",
+	"(*net/http.Client).PostForm":          "http.Client.PostForm",
+	"net/http.Get":                         "http.Get",
+	"net/http.Head":                        "http.Head",
+	"net/http.Post":                        "http.Post",
+	"net/http.PostForm":                    "http.PostForm",
+	"net/http.ListenAndServe":              "http.ListenAndServe",
+	"net/http.Serve":                       "http.Serve",
+	"(*net/http.Server).ListenAndServe":    "http.Server.ListenAndServe",
+	"(*net/http.Server).ListenAndServeTLS": "http.Server.ListenAndServeTLS",
+	"(*net/http.Server).Serve":             "http.Server.Serve",
+	"(*net/http.Server).Shutdown":          "http.Server.Shutdown",
+}
+
+// stdlibAllocates mirrors hotalloc's syntactic detectors for the stdlib
+// calls it names: time.Now is a vDSO/syscall clock read and every fmt entry
+// point allocates for its interface arguments.
+func stdlibAllocates(fullName string) (string, bool) {
+	if fullName == "time.Now" {
+		return "time.Now", true
+	}
+	if strings.HasPrefix(fullName, "fmt.") {
+		return fullName, true
+	}
+	return "", false
+}
+
+// LookupFact resolves a callee's summary: the package's own summaries and
+// imported dep facts first, then the stdlib tables.
+func LookupFact(deps Facts, fullName string) (FuncFact, bool) {
+	if f, ok := deps[fullName]; ok {
+		return f, true
+	}
+	if why, ok := stdlibBlocking[fullName]; ok {
+		return FuncFact{Blocks: true, BlockWhy: why}, true
+	}
+	if why, ok := stdlibAllocates(fullName); ok {
+		return FuncFact{Allocates: true, AllocWhy: why}, true
+	}
+	return FuncFact{}, false
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 
 	"fdiam/internal/analysis"
@@ -36,10 +37,42 @@ func TestLogKeys(t *testing.T) {
 	analysistest.Run(t, analysis.LogKeys, "logkeys", "example.com/logkeys")
 }
 
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow", "example.com/internal/core")
+}
+
+func TestDeepAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.DeepAlloc, "deepalloc", "example.com/deepalloc")
+}
+
+// TestDeepAllocCycle pins the worklist fixpoint's behavior on a recursive
+// call graph: the allocation on the far side of a ping/pong cycle must
+// reach the kernel's callee, and a clean self-recursive helper must not be
+// tainted by the cycle alone.
+func TestDeepAllocCycle(t *testing.T) {
+	analysistest.Run(t, analysis.DeepAlloc, "callcycle", "example.com/callcycle")
+}
+
+func TestBoundMono(t *testing.T) {
+	analysistest.Run(t, analysis.BoundMono, "boundmono", "example.com/boundmono")
+}
+
+// TestFactPropagation runs ctxflow and deepalloc over a package whose only
+// blocking and allocating paths cross a package boundary: the dependency
+// fixture is summarized separately and its facts arrive through the vetx
+// wire encoding, as in a real `go vet -vettool` run.
+func TestFactPropagation(t *testing.T) {
+	analysistest.RunWithDeps(t,
+		[]*analysis.Analyzer{analysis.CtxFlow, analysis.DeepAlloc},
+		"factuse", "example.com/internal/core",
+		[]analysistest.Dep{{Dir: "factdep", Path: "example.com/factdep"}})
+}
+
 // TestAllStableOrder pins the suite composition: the vettool's -V=full
 // version string and CI logs both assume this order.
 func TestAllStableOrder(t *testing.T) {
-	want := []string{"nakedgo", "atomicfield", "hotalloc", "errdrop", "logkeys"}
+	want := []string{"nakedgo", "atomicfield", "hotalloc", "errdrop", "logkeys",
+		"ctxflow", "deepalloc", "boundmono"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -85,6 +118,79 @@ func f() {
 	// Line 7 (b := 2) follows a reasonless directive, which must be inert.
 	if bare := posOnLine(fset, f, 7); sup.Suppressed("nakedgo", fset, bare) {
 		t.Errorf("reasonless directive suppressed a diagnostic")
+	}
+}
+
+// TestSuppressionHygiene checks the directive-discipline reporting: a
+// reasonless directive is always a finding, a reasoned-but-unhit one only
+// under the unused-ignores mode, and a hit directive never.
+func TestSuppressionHygiene(t *testing.T) {
+	src := `package p
+
+func f() {
+	//fdiamlint:ignore nakedgo hit below
+	a := 1
+	//fdiamlint:ignore nakedgo never matched by any diagnostic
+	b := 2
+	//fdiamlint:ignore nakedgo
+	c := 3
+	_, _, _ = a, b, c
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := analysis.NewSuppressor(fset, []*ast.File{f})
+	if !sup.Suppressed("nakedgo", fset, posOnLine(fset, f, 5)) {
+		t.Fatalf("directive on line 4 did not suppress line 5")
+	}
+
+	count := func(diags []analysis.Diagnostic, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	plain := sup.HygieneDiagnostics(false)
+	if got := count(plain, "suppresses nothing"); got != 1 {
+		t.Errorf("reasonless findings without -unused-ignores = %d, want 1", got)
+	}
+	if got := count(plain, "stale"); got != 0 {
+		t.Errorf("stale findings without -unused-ignores = %d, want 0", got)
+	}
+	full := sup.HygieneDiagnostics(true)
+	if got := count(full, "stale"); got != 1 {
+		t.Errorf("stale findings with -unused-ignores = %d, want 1 (the unhit line-6 directive)", got)
+	}
+	if got := count(full, "suppresses nothing"); got != 1 {
+		t.Errorf("reasonless findings with -unused-ignores = %d, want 1", got)
+	}
+}
+
+// TestHygieneExemptsTestdataAndTests pins where the hygiene rules do not
+// apply: golden fixtures exercise the grammar deliberately, and analyzers
+// skip test files entirely, so directives there can never be hit.
+func TestHygieneExemptsTestdataAndTests(t *testing.T) {
+	for _, name := range []string{
+		"testdata/src/x/p.go",
+		"/abs/repo/internal/analysis/testdata/src/x/p.go",
+		"serve_fault_test.go",
+	} {
+		src := "package p\n\n//fdiamlint:ignore nakedgo\nvar X = 1\n"
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := analysis.NewSuppressor(fset, []*ast.File{f})
+		if diags := sup.HygieneDiagnostics(true); len(diags) != 0 {
+			t.Errorf("%s: hygiene reported %d findings in an exempt file", name, len(diags))
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+package boundmono
+
+// newSolver constructs fresh state: composite literals are initialization,
+// not evolution of a run's bounds, and stay legal outside state.go.
+func newSolver(n int) *solver {
+	return &solver{
+		ecc:   make([]int32, n),
+		stage: make([]uint8, n),
+		bound: -1,
+		ubCap: -1,
+	}
+}
+
+func (s *solver) step(v int32) {
+	s.bound = v             // want `write to solver.bound outside a //fdiam:boundsetter function`
+	s.ecc[0] = v            // want `write to solver.ecc outside a //fdiam:boundsetter function`
+	s.stage[0]++            // want `write to solver.stage outside a //fdiam:boundsetter function`
+	copy(s.ecc, []int32{v}) // want `copy into solver.ecc outside a //fdiam:boundsetter function`
+	p := &s.ubCap           // want `address of solver.ubCap escapes the boundmono discipline`
+	_ = p
+	s.hits++ // unrestricted field
+	s.raiseLB(v)
+}
+
+// misplaced carries the directive outside state.go: the directive is
+// rejected and the writes are still policed.
+//
+//fdiam:boundsetter
+func misplaced(s *solver, v int32) { // want `setters must live in state.go`
+	s.bound = v // want `write to solver.bound outside a //fdiam:boundsetter function`
+}
+
+// reader only loads bound state: loads are unrestricted.
+func reader(s *solver) int32 {
+	return s.bound + s.ecc[0]
+}

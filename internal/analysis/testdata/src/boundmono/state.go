@@ -1,0 +1,34 @@
+// Fixture for the boundmono analyzer: the designated-setter file. The
+// package declares a `solver` struct with the policed bound fields, so
+// the analyzer activates exactly as it does for internal/core.
+package boundmono
+
+type solver struct {
+	ecc   []int32
+	stage []uint8
+	bound int32
+	ubCap int32
+	hits  int // not bound state: writable anywhere
+}
+
+// raiseLB is a designated setter: writes inside are its purpose.
+//
+//fdiam:boundsetter
+func (s *solver) raiseLB(v int32) {
+	if v > s.bound {
+		s.bound = v
+	}
+}
+
+// record is a designated setter touching the per-vertex arrays.
+//
+//fdiam:boundsetter
+func (s *solver) record(v int, ecc int32) {
+	s.ecc[v] = ecc
+	s.stage[v]++
+}
+
+// sneaky lives in state.go but lacks the directive: still flagged.
+func (s *solver) sneaky(v int32) {
+	s.bound = v // want `write to solver.bound outside a //fdiam:boundsetter function`
+}

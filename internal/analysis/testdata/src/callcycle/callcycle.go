@@ -1,0 +1,34 @@
+// Fixture for the call-graph fixpoint: mutually recursive helpers where
+// the allocation sits on the far side of the cycle. A memoizing DFS would
+// either loop or conclude too early; the worklist fixpoint must converge
+// with ping and pong both marked allocating.
+package callcycle
+
+//fdiam:hotpath
+func kernel(n int) {
+	ping(n) // want `callcycle.ping allocates`
+}
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	_ = make([]int, n)
+	ping(n - 1)
+}
+
+// selfrec is self-recursive and clean: the cycle alone must not mark it.
+//
+//fdiam:hotpath
+func selfCaller(n int) {
+	selfrec(n)
+}
+
+func selfrec(n int) {
+	if n > 0 {
+		selfrec(n - 1)
+	}
+}

@@ -1,0 +1,68 @@
+// Fixture for the ctxflow analyzer, type-checked under a package path
+// ending in internal/core so rule A (exported blocking APIs take a ctx)
+// is in scope.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Wait blocks on a channel receive with no way to cancel: rule A.
+func Wait(c chan int) int { // want `exported blocking API Wait must take a context.Context`
+	return <-c
+}
+
+// WaitCtx blocks but takes and consults its context: clean.
+func WaitCtx(ctx context.Context, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Sleepy takes a ctx but never mentions it on a blocking path: rule C.
+func Sleepy(ctx context.Context) { // want `Sleepy receives ctx but drops it on a blocking path`
+	time.Sleep(time.Millisecond)
+}
+
+// Blank discards the parameter by name: rule C's stronger form.
+func Blank(_ context.Context, c chan int) int { // want `Blank discards its context parameter but blocks`
+	return <-c
+}
+
+// transitively blocks through wait, so rule A still applies: the Blocks
+// fact propagates up the call graph.
+func Deep(c chan int) int { // want `exported blocking API Deep must take a context.Context`
+	return wait(c)
+}
+
+// wait is unexported: not public API, no rule A.
+func wait(c chan int) int { return <-c }
+
+func background() context.Context {
+	return context.Background() // want `context.Background\(\) in library code severs cancellation`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code severs cancellation`
+}
+
+// Engine provides SetCancel: the contract where the context-aware rim
+// installs an atomic stop flag, exempting the methods from rule A.
+type Engine struct{ stop *bool }
+
+func (e *Engine) SetCancel(flag *bool) { e.stop = flag }
+
+// Run blocks but its receiver carries the SetCancel contract: exempt.
+func (e *Engine) Run(c chan int) int { return <-c }
+
+// hidden is a method on an unexported type: not public API.
+type hidden struct{}
+
+func (hidden) Block(c chan int) int { return <-c }
+
+// NonBlocking is exported but never blocks: no ctx needed.
+func NonBlocking(a, b int) int { return a + b }

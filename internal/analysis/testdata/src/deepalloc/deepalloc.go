@@ -1,0 +1,35 @@
+// Fixture for the deepalloc analyzer: transitive allocation reachability
+// from //fdiam:hotpath kernels via the Allocates facts.
+package deepalloc
+
+//fdiam:hotpath
+func kernel(dst, src []int) {
+	grow(len(src))     // want `deepalloc.grow allocates \(calls example.com/deepalloc.mint\) and is called from //fdiam:hotpath kernel`
+	fill(dst, src)     // clean helper: no allocation anywhere below
+	audited(dst)       // hotpath-annotated callee: hotalloc polices its body directly
+	_ = mint(len(src)) // want `deepalloc.mint allocates \(make\) and is called from //fdiam:hotpath kernel`
+}
+
+// grow allocates only transitively, through mint — the shape plain
+// hotalloc cannot see.
+func grow(n int) []int { return mint(n) }
+
+// mint allocates directly.
+func mint(n int) []int { return make([]int, n) }
+
+// fill touches only its arguments.
+func fill(dst, src []int) { copy(dst, src) }
+
+// audited allocates, but carries the hotpath directive: it is policed by
+// hotalloc itself (and would be flagged there), so deepalloc does not
+// double-report the call edge.
+//
+//fdiam:hotpath
+func audited(dst []int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// cold is not a kernel: calls from it are unconstrained.
+func cold(n int) []int { return grow(n) }

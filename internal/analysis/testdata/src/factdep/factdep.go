@@ -1,0 +1,18 @@
+// Dependency half of the cross-package fact-propagation fixture: this
+// package's summaries are built first, encoded to the vetx wire format,
+// decoded, and handed to the dependent package (factuse) — exactly the
+// exchange `go vet -vettool` performs between package units.
+package factdep
+
+// Alloc allocates: the Allocates fact must survive the round-trip.
+func Alloc(n int) []int { return make([]int, n) }
+
+// Wait blocks: the Blocks fact must survive the round-trip.
+func Wait(c chan int) int { return <-c }
+
+// Chain blocks only transitively through Wait, so the dependent package
+// also depends on this package's own fixpoint having run.
+func Chain(c chan int) int { return Wait(c) }
+
+// Pure neither blocks nor allocates.
+func Pure(a, b int) int { return a + b }

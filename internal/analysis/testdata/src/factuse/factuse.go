@@ -1,0 +1,24 @@
+// Dependent half of the cross-package fact-propagation fixture: every
+// diagnostic below exists only because factdep's function summaries
+// crossed the package boundary through the encoded facts (there is no
+// syntactic blocking or allocation in this file). Type-checked under a
+// package path ending in internal/core so ctxflow's rule A is in scope.
+package core
+
+import "example.com/factdep"
+
+// Collect blocks only through the imported Chain → Wait path.
+func Collect(c chan int) int { // want `exported blocking API Collect must take a context.Context first parameter \(calls example.com/factdep.Chain\)`
+	return factdep.Chain(c)
+}
+
+// Sum calls only the pure import: clean.
+func Sum(a, b int) int {
+	return factdep.Pure(a, b)
+}
+
+//fdiam:hotpath
+func kernel(n int) {
+	_ = factdep.Alloc(n) // want `factdep.Alloc allocates \(make\) and is called from //fdiam:hotpath kernel`
+	_ = factdep.Pure(n, n)
+}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"fdiam/internal/bfs"
 	"fdiam/internal/graph"
 )
@@ -21,6 +23,16 @@ func VertexCentric(g *graph.Graph, opt Options) Result {
 	if n == 0 {
 		return res
 	}
+	// The baseline API's cancellation contract is Options.Timeout; convert
+	// it into a context deadline here so the MS-BFS engine can also abort
+	// mid-sweep (truncated level counts are still valid lower bounds).
+	//fdiamlint:ignore ctxflow baseline comparators are ctx-less by contract (Options.Timeout); this is the conversion root
+	ctx := context.Background()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	// Process sources in batches so the timeout can take effect between
 	// sweeps; each batch counts as its 64 traversals for Table 3-style
 	// comparisons (the work performed is equivalent).
@@ -37,7 +49,7 @@ func VertexCentric(g *graph.Graph, opt Options) Result {
 			res.TimedOut = true
 			return res
 		}
-		for _, e := range bfs.MultiSourceEccentricities(g, batch, opt.Workers) {
+		for _, e := range bfs.MultiSourceEccentricities(ctx, g, batch, opt.Workers) {
 			if e > res.Diameter {
 				res.Diameter = e
 			}
@@ -46,7 +58,7 @@ func VertexCentric(g *graph.Graph, opt Options) Result {
 		batch = batch[:0]
 	}
 	if len(batch) > 0 {
-		for _, e := range bfs.MultiSourceEccentricities(g, batch, opt.Workers) {
+		for _, e := range bfs.MultiSourceEccentricities(ctx, g, batch, opt.Workers) {
 			if e > res.Diameter {
 				res.Diameter = e
 			}

@@ -148,7 +148,12 @@ func (e *Engine) ensurePool() *par.Pool {
 }
 
 // parForWorker dispatches a chunked parallel-for onto the engine's pool.
+// It runs once per BFS level from every parallel kernel, so it is hot-path
+// audited itself rather than tainting each caller's deepalloc summary.
+//
+//fdiam:hotpath
 func (e *Engine) parForWorker(n, workers, chunk int, body func(worker, lo, hi int)) {
+	//fdiamlint:ignore deepalloc pool dispatch allocates one parked-job header per level (and the pool itself on first use), amortized over the whole frontier
 	e.ensurePool().ForWorker(n, workers, chunk, body)
 }
 
@@ -666,6 +671,7 @@ func (e *Engine) bottomUpParallel(workers int) {
 	offsets, targets := e.g.Offsets(), e.g.Targets()
 	n := e.g.NumVertices()
 	if e.front == nil || e.front.Len() < n {
+		//fdiamlint:ignore deepalloc grow-once frontier bitset, allocated on first use and reused for the engine's lifetime
 		e.front = bitset.New(n)
 	}
 	e.front.Reset()

@@ -1,7 +1,9 @@
 package bfs
 
 import (
+	"context"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"fdiam/internal/graph"
@@ -469,14 +471,22 @@ func (e *Engine) msSwapFrontier(level int32, wantRows bool) {
 // MultiSourceEccentricities computes the eccentricity of every source with
 // batches of 64 through the MS-BFS engine core. The returned slice is
 // parallel to sources; each eccentricity is within the source's connected
-// component. workers < 1 selects the default.
-func MultiSourceEccentricities(g *graph.Graph, sources []graph.Vertex, workers int) []int32 {
+// component. workers < 1 selects the default. Cancelling ctx stops the
+// work between levels (the engine's SetCancel contract); eccentricities
+// not yet computed are left at zero and completed batches keep their exact
+// values, so partial results remain valid lower bounds.
+func MultiSourceEccentricities(ctx context.Context, g *graph.Graph, sources []graph.Vertex, workers int) []int32 {
 	eccs := make([]int32, len(sources))
 	if g.NumVertices() == 0 || len(sources) == 0 {
 		return eccs
 	}
 	e := New(g, workers)
 	defer e.Close()
+	if ctx.Done() != nil {
+		var stop atomic.Bool
+		defer context.AfterFunc(ctx, func() { stop.Store(true) })()
+		e.SetCancel(&stop)
+	}
 	for base := 0; base < len(sources); base += 64 {
 		batch := sources[base:]
 		if len(batch) > 64 {
@@ -484,15 +494,18 @@ func MultiSourceEccentricities(g *graph.Graph, sources []graph.Vertex, workers i
 		}
 		res := e.msRun(batch, false, false)
 		copy(eccs[base:], res.Ecc)
+		if res.Aborted {
+			break
+		}
 	}
 	return eccs
 }
 
 // AllEccentricitiesMS computes the eccentricity of every vertex via MS-BFS.
-func AllEccentricitiesMS(g *graph.Graph, workers int) []int32 {
+func AllEccentricitiesMS(ctx context.Context, g *graph.Graph, workers int) []int32 {
 	sources := make([]graph.Vertex, g.NumVertices())
 	for i := range sources {
 		sources[i] = graph.Vertex(i)
 	}
-	return MultiSourceEccentricities(g, sources, workers)
+	return MultiSourceEccentricities(ctx, g, sources, workers)
 }

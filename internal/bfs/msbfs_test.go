@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestMultiSourceEccentricitiesMatchesSingleSource(t *testing.T) {
 		}
 		// All vertices as sources (exercises multiple batches on the
 		// larger graphs).
-		got := AllEccentricitiesMS(g, 2)
+		got := AllEccentricitiesMS(context.Background(), g, 2)
 		e := New(g, 1)
 		for v := 0; v < n; v++ {
 			want := e.Eccentricity(graph.Vertex(v))
@@ -30,7 +31,7 @@ func TestMultiSourceEccentricitiesMatchesSingleSource(t *testing.T) {
 func TestMultiSourceSubset(t *testing.T) {
 	g := gen.Grid2D(9, 7)
 	sources := []graph.Vertex{0, 5, 31, 62}
-	got := MultiSourceEccentricities(g, sources, 1)
+	got := MultiSourceEccentricities(context.Background(), g, sources, 1)
 	e := New(g, 1)
 	for i, s := range sources {
 		if want := e.Eccentricity(s); got[i] != want {
@@ -48,7 +49,7 @@ func TestMultiSourceBatchBoundary(t *testing.T) {
 		for i := range sources {
 			sources[i] = graph.Vertex(i)
 		}
-		got := MultiSourceEccentricities(g, sources, 1)
+		got := MultiSourceEccentricities(context.Background(), g, sources, 1)
 		for i, s := range sources {
 			if want := e.Eccentricity(s); got[i] != want {
 				t.Fatalf("count=%d: ecc(%d) = %d, want %d", count, s, got[i], want)
@@ -58,11 +59,11 @@ func TestMultiSourceBatchBoundary(t *testing.T) {
 }
 
 func TestMultiSourceIsolatedAndEmpty(t *testing.T) {
-	if got := MultiSourceEccentricities(graph.NewBuilder(0).Build(), nil, 1); len(got) != 0 {
+	if got := MultiSourceEccentricities(context.Background(), graph.NewBuilder(0).Build(), nil, 1); len(got) != 0 {
 		t.Fatal("empty graph")
 	}
 	g := graph.NewBuilder(3).Build() // three isolated vertices
-	got := MultiSourceEccentricities(g, []graph.Vertex{0, 1, 2}, 1)
+	got := MultiSourceEccentricities(context.Background(), g, []graph.Vertex{0, 1, 2}, 1)
 	for _, e := range got {
 		if e != 0 {
 			t.Fatalf("isolated vertex ecc = %d", e)
@@ -75,8 +76,8 @@ func TestMultiSourceParallelAgrees(t *testing.T) {
 	g2 := gen.RMAT(13, 6, gen.DefaultRMAT, 13)
 	for _, gg := range []*graph.Graph{g, g2} {
 		sources := []graph.Vertex{0, 1, 2, 100, 500}
-		a := MultiSourceEccentricities(gg, sources, 1)
-		b := MultiSourceEccentricities(gg, sources, 4)
+		a := MultiSourceEccentricities(context.Background(), gg, sources, 1)
+		b := MultiSourceEccentricities(context.Background(), gg, sources, 4)
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("worker mismatch at %d: %d vs %d", i, a[i], b[i])
@@ -293,7 +294,7 @@ func BenchmarkMultiSource64(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MultiSourceEccentricities(g, sources, 1)
+		MultiSourceEccentricities(context.Background(), g, sources, 1)
 	}
 }
 

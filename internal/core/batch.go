@@ -129,10 +129,7 @@ func (s *solver) runBatch(vstart int) bool {
 		// source's eccentricity; keep the best one, record nothing as
 		// exact, and persist the interruption point.
 		for i := range sources {
-			if res.Ecc[i] > s.bound {
-				s.bound = res.Ecc[i]
-				s.witnessA, s.witnessB = sources[i], res.Witness[i]
-			}
+			s.raiseLB(res.Ecc[i], sources[i], res.Witness[i])
 		}
 		if tr != nil {
 			tr.Instant("run", "cancelled")
@@ -162,8 +159,7 @@ func (s *solver) runBatch(vstart int) bool {
 		switch {
 		case vecc > s.bound:
 			old := s.bound
-			s.bound = vecc
-			s.witnessA, s.witnessB = src, res.Witness[i]
+			s.raiseLB(vecc, src, res.Witness[i])
 			s.stats.BoundImprovements++
 			tr.BoundImproved(old, vecc, src)
 			s.publishBounds()
@@ -219,20 +215,8 @@ func (s *solver) eliminateFromRow(src graph.Vertex, row []int32, startVal, limit
 			continue
 		}
 		visited++
-		val := startVal + k
-		switch cur := s.ecc[v]; {
-		case cur == Active:
-			if checkedBuild {
-				s.checkRecord(graph.Vertex(v), cur, val)
-			}
-			s.ecc[v] = val
-			s.stage[v] = StageEliminate
+		if s.recordBound(graph.Vertex(v), startVal+k, StageEliminate) {
 			s.stats.RemovedEliminate++
-		case cur != Winnowed && val < cur:
-			if checkedBuild {
-				s.checkRecord(graph.Vertex(v), cur, val)
-			}
-			s.ecc[v] = val
 		}
 	}
 	s.stats.EliminateVisited += visited

@@ -99,10 +99,10 @@ func (s *solver) chains() {
 			s.recordChainBall(cur, length, ring, levels == length)
 			// Algorithm 5 never marks its source; remove the chain
 			// end explicitly ("we can safely remove all y vertices
-			// that have a degree-1 neighbor").
-			if s.ecc[cur] == Active {
-				s.ecc[cur] = chainMax - length
-				s.stage[cur] = StageChain
+			// that have a degree-1 neighbor"). The Active guard stays
+			// outside recordBound: sentinel values from different hubs
+			// must not "tighten" one another.
+			if s.ecc[cur] == Active && s.recordBound(cur, chainMax-length, StageChain) {
 				s.stats.RemovedChain++
 			}
 		case length > done:

@@ -84,11 +84,7 @@ func (s *solver) tryResume() bool {
 		return false
 	}
 
-	copy(s.ecc, snap.Ecc)
-	for i, st := range snap.Stage {
-		s.stage[i] = Stage(st)
-	}
-	s.bound = snap.Bound
+	s.restoreVertexState(snap.Ecc, snap.Stage, snap.Bound)
 	s.start = graph.Vertex(snap.Start)
 	s.witnessA = graph.Vertex(snap.WitnessA)
 	s.witnessB = graph.Vertex(snap.WitnessB)

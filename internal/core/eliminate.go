@@ -17,13 +17,9 @@ import (
 // Eliminate runs serially: its worklists are typically tiny (§4.4), and the
 // multi-source extension is partial by construction.
 //
-// Write policy: an Active vertex is removed and attributed to attr; an
-// already-removed vertex keeps its state except that a *tighter* numeric
-// upper bound replaces a looser one (both are valid by the triangle
-// inequality, and keeping the minimum can only help later extensions).
-// Winnowed vertices are traversed but keep their sentinel, and exactly
-// computed eccentricities can never be "tightened" because every recorded
-// bound is ≥ the true eccentricity.
+// Write policy: recordBound (state.go) — an Active vertex is removed and
+// attributed to attr; an already-removed vertex keeps its state except
+// that a *tighter* numeric upper bound replaces a looser one.
 //
 // Returns the vertices freshly removed at the deepest completed level —
 // the outermost ring of newly claimed territory, which Chain Processing
@@ -65,13 +61,7 @@ func (s *solver) eliminateFromPar(seeds []graph.Vertex, startVal, limit int32, a
 		ring = ring[:0]
 		val := startVal + level
 		for _, v := range frontier {
-			switch cur := s.ecc[v]; {
-			case cur == Active:
-				if checkedBuild {
-					s.checkRecord(v, cur, val)
-				}
-				s.ecc[v] = val
-				s.stage[v] = attr
+			if s.recordBound(v, val, attr) {
 				ring = append(ring, v)
 				switch attr {
 				case StageChain:
@@ -79,11 +69,6 @@ func (s *solver) eliminateFromPar(seeds []graph.Vertex, startVal, limit int32, a
 				default:
 					s.stats.RemovedEliminate++
 				}
-			case cur != Winnowed && val < cur:
-				if checkedBuild {
-					s.checkRecord(v, cur, val)
-				}
-				s.ecc[v] = val
 			}
 		}
 	})

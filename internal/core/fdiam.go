@@ -18,7 +18,10 @@ import (
 // For disconnected inputs the result carries Infinite=true and Diameter
 // holds the largest eccentricity over all connected components, matching
 // the paper's output convention.
+//
+//fdiamlint:ignore ctxflow compat facade kept for ctx-less callers; cancellable callers use DiameterCtx
 func Diameter(g *graph.Graph, opt Options) Result {
+	//fdiamlint:ignore ctxflow the facade's whole point is synthesizing the root ctx for DiameterCtx
 	return DiameterCtx(context.Background(), g, opt)
 }
 
@@ -148,9 +151,10 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 	e.SetAlphaBeta(opt.BFSAlpha, opt.BFSBeta)
 	e.SetTracer(opt.Trace)
 	s := &solver{
-		g:         g,
-		e:         e,
-		opt:       opt,
+		g:   g,
+		e:   e,
+		opt: opt,
+		//fdiamlint:ignore ctxflow constructor default only; DiameterCtx overwrites it with the caller's ctx before solving
 		ctx:       context.Background(),
 		ubCap:     -1,
 		lg:        obs.DiscardLogger(),
@@ -191,10 +195,10 @@ func (s *solver) run() Result {
 		// (lb == ub); an aborted run that never finished its 2-sweep still
 		// reports the trivial n−1 cap rather than "unknown".
 		if !cancelled {
-			s.ubCap = s.bound
+			s.capUB(s.bound)
 		} else if s.ubCap < 0 {
 			if nv := s.g.NumVertices(); nv > 0 {
-				s.ubCap = int32(nv) - 1
+				s.capUB(int32(nv) - 1)
 			}
 		}
 		s.publishBounds()
@@ -254,15 +258,11 @@ func (s *solver) run() Result {
 		tr.Begin("stage", "init")
 	}
 	tInit := time.Now()
-	s.ecc = make([]int32, n)
-	s.stage = make([]Stage, n)
-	par.For(n, s.e.Workers(), 0, func(i int) { s.ecc[i] = Active })
+	s.initVertexState(n, s.e.Workers())
 	firstNonIsolated := -1
 	for v := 0; v < n; v++ {
 		if s.g.Degree(graph.Vertex(v)) == 0 {
-			s.ecc[v] = 0
-			s.stage[v] = StageDegree0
-			s.stats.RemovedDegree0++
+			s.markIsolated(graph.Vertex(v))
 		} else if firstNonIsolated < 0 {
 			firstNonIsolated = v
 		}
@@ -295,7 +295,7 @@ func (s *solver) run() Result {
 		infinite = s.ck.infinite
 		// The snapshot carries no eccentricity of u, so the resumed
 		// corridor opens at the trivial cap.
-		s.ubCap = int32(n) - 1
+		s.capUB(int32(n) - 1)
 		s.publishBounds()
 	} else {
 		// Starting vertex: the maximum-degree vertex u (§3), or — for the
@@ -328,8 +328,7 @@ func (s *solver) run() Result {
 			// The completed levels of the aborted traversal still lower-bound
 			// ecc(u) and hence the diameter: the engine's current frontier is
 			// exactly uEcc levels from u. Nothing is recorded as exact.
-			s.bound = uEcc
-			s.witnessA, s.witnessB = s.start, s.e.LastFrontier()[0]
+			s.raiseLB(uEcc, s.start, s.e.LastFrontier()[0])
 			endSweep()
 			return finish(false)
 		}
@@ -339,34 +338,27 @@ func (s *solver) run() Result {
 		infinite = n > 1 && (s.stats.RemovedDegree0 > 0 || reached < int64(n)-s.stats.RemovedDegree0)
 		// First proven upper bound: any a–b path detours through u, so
 		// d(a,b) ≤ 2·ecc(u) when the graph is connected; n−1 regardless.
-		s.ubCap = int32(n) - 1
+		s.capUB(int32(n) - 1)
 		if !infinite {
 			if ub := 2 * int64(uEcc); ub < int64(s.ubCap) {
-				s.ubCap = int32(ub)
+				s.capUB(int32(ub))
 			}
 		}
 		s.setComputed(s.start, uEcc)
 		w := s.e.LastFrontier()[0]
-		s.bound = uEcc
-		s.witnessA, s.witnessB = s.start, w
+		s.raiseLB(uEcc, s.start, w)
 		if w != s.start && !s.cancelled() {
 			tEcc = time.Now()
 			wEcc := s.e.Eccentricity(w)
 			s.stats.EccBFS++
 			s.stats.TimeEcc += time.Since(tEcc)
 			if s.e.Aborted() {
-				if wEcc > s.bound {
-					s.bound = wEcc
-					s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
-				}
+				s.raiseLB(wEcc, w, s.e.LastFrontier()[0])
 				endSweep()
 				return finish(infinite)
 			}
 			s.setComputed(w, wEcc)
-			if wEcc > s.bound {
-				s.bound = wEcc
-				s.witnessA, s.witnessB = w, s.e.LastFrontier()[0]
-			}
+			s.raiseLB(wEcc, w, s.e.LastFrontier()[0])
 		}
 		if tr != nil {
 			tr.Instant("bound", "initial", obs.I("bound", int64(s.bound)))
@@ -446,10 +438,7 @@ func (s *solver) run() Result {
 		if s.e.Aborted() {
 			// The truncated level count still lower-bounds ecc(v); use it
 			// if it beats the bound, but never record it as exact.
-			if vecc > s.bound {
-				s.bound = vecc
-				s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
-			}
+			s.raiseLB(vecc, graph.Vertex(v), s.e.LastFrontier()[0])
 			if tr != nil {
 				tr.Instant("run", "cancelled")
 			}
@@ -464,8 +453,7 @@ func (s *solver) run() Result {
 			// New lower bound for the diameter: extend the winnow
 			// ball and all prior eliminated regions (§4.5).
 			old := s.bound
-			s.bound = vecc
-			s.witnessA, s.witnessB = graph.Vertex(v), s.e.LastFrontier()[0]
+			s.raiseLB(vecc, graph.Vertex(v), s.e.LastFrontier()[0])
 			s.stats.BoundImprovements++
 			tr.BoundImproved(old, vecc, uint32(v))
 			s.publishBounds()
@@ -540,34 +528,4 @@ func (s *solver) observeProgress() {
 		s.stats.RemovedChain + s.stats.RemovedEliminate + s.stats.Computed
 	tr.SetActive(int64(s.stats.Vertices) - removed)
 	tr.SetBound(int64(s.bound))
-}
-
-// setComputed records an exactly computed eccentricity, which also removes
-// the vertex from consideration (any write below Active does, per §4).
-func (s *solver) setComputed(v graph.Vertex, ecc int32) {
-	if checkedBuild {
-		s.checkComputeTarget(v)
-	}
-	s.ecc[v] = ecc
-	s.stage[v] = StageComputed
-	s.stats.Computed++
-}
-
-// reactivate puts a vertex back under consideration, undoing the removal
-// bookkeeping. Chain Processing uses it to keep chain anchors active
-// (Algorithm 4 line 9). Vertices whose exact eccentricity is already known
-// stay removed — their value is already reflected in the bound.
-func (s *solver) reactivate(v graph.Vertex) {
-	switch s.stage[v] {
-	case StageWinnow:
-		s.stats.RemovedWinnow--
-	case StageChain:
-		s.stats.RemovedChain--
-	case StageEliminate:
-		s.stats.RemovedEliminate--
-	default:
-		return // active, computed, or degree-0: nothing to undo
-	}
-	s.ecc[v] = Active
-	s.stage[v] = StageActive
 }

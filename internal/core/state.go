@@ -5,7 +5,13 @@
 // eccentricity computations.
 package core
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+
+	"fdiam/internal/graph"
+	"fdiam/internal/par"
+)
 
 // Vertex-state encoding, stored in one int32 per vertex (the paper's
 // per-vertex "ecc" field). Any value below Active means the vertex has been
@@ -64,4 +70,174 @@ func (s Stage) String() string {
 	default:
 		return "invalid"
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Monotone setters.
+//
+// Every mutation of the solver's bound state — the ecc/stage vertex arrays,
+// the diameter lower bound, and the ubCap upper bound — goes through the
+// functions below, each marked //fdiam:boundsetter. The boundmono analyzer
+// rejects writes anywhere else at lint time, turning the fdiam.checked
+// runtime barrier (invariant.go's checkRecord) into a compile-time
+// guarantee: the paper's exactness argument needs the lower bound to only
+// rise, the upper bound to only fall, and a vertex's record to only move
+// Active → resolved (or tighten), and with the writes confined here the
+// monotone contract is enforced and reviewed in one place.
+// ---------------------------------------------------------------------------
+
+// initVertexState allocates the per-vertex state arrays with every vertex
+// Active. Initialization, not evolution: it runs once before any bound
+// exists.
+//
+//fdiam:boundsetter
+func (s *solver) initVertexState(n, workers int) {
+	s.ecc = make([]int32, n)
+	s.stage = make([]Stage, n)
+	par.For(n, workers, 0, func(i int) { s.ecc[i] = Active })
+}
+
+// markIsolated records a degree-0 vertex: eccentricity exactly 0, no BFS
+// needed (Table 4's last column).
+//
+//fdiam:boundsetter
+func (s *solver) markIsolated(v graph.Vertex) {
+	s.ecc[v] = 0
+	s.stage[v] = StageDegree0
+	s.stats.RemovedDegree0++
+}
+
+// setComputed records an exactly computed eccentricity, which also removes
+// the vertex from consideration (any write below Active does, per §4).
+//
+//fdiam:boundsetter
+func (s *solver) setComputed(v graph.Vertex, ecc int32) {
+	if checkedBuild {
+		s.checkComputeTarget(v)
+	}
+	s.ecc[v] = ecc
+	s.stage[v] = StageComputed
+	s.stats.Computed++
+}
+
+// recordBound applies the Eliminate/Chain write policy to one vertex: an
+// Active vertex is removed with upper bound val and attributed to attr
+// (reported true — the caller owns ring membership and stage counters); an
+// already-removed vertex keeps its state except that a strictly tighter
+// numeric bound replaces a looser one. Winnowed vertices keep their
+// sentinel, and exactly computed eccentricities can never be "tightened"
+// because every recorded bound is ≥ the true eccentricity.
+//
+//fdiam:boundsetter
+func (s *solver) recordBound(v graph.Vertex, val int32, attr Stage) (removed bool) {
+	switch cur := s.ecc[v]; {
+	case cur == Active:
+		if checkedBuild {
+			s.checkRecord(v, cur, val)
+		}
+		s.ecc[v] = val
+		s.stage[v] = attr
+		return true
+	case cur != Winnowed && val < cur:
+		if checkedBuild {
+			s.checkRecord(v, cur, val)
+		}
+		s.ecc[v] = val
+	}
+	return false
+}
+
+// markWinnowed removes all Active vertices of a frontier. Vertices that
+// already carry information (a computed eccentricity or an Eliminate upper
+// bound) keep it — they are removed either way, and the recorded value may
+// still seed a later region extension.
+//
+//fdiam:hotpath
+//fdiam:boundsetter
+func (s *solver) markWinnowed(frontier []graph.Vertex, workers int) {
+	if workers > 1 && len(frontier) >= 4096 {
+		var removed int64
+		//fdiamlint:ignore deepalloc pool dispatch allocates one parked-job header, amortized over a ≥4096-vertex frontier
+		par.ForRange(len(frontier), workers, 0, func(lo, hi int) {
+			local := int64(0)
+			for _, v := range frontier[lo:hi] {
+				if s.ecc[v] == Active {
+					s.ecc[v] = Winnowed
+					s.stage[v] = StageWinnow
+					local++
+				}
+			}
+			atomic.AddInt64(&removed, local)
+		})
+		s.stats.RemovedWinnow += removed
+		return
+	}
+	for _, v := range frontier {
+		if s.ecc[v] == Active {
+			s.ecc[v] = Winnowed
+			s.stage[v] = StageWinnow
+			s.stats.RemovedWinnow++
+		}
+	}
+}
+
+// reactivate puts a vertex back under consideration, undoing the removal
+// bookkeeping. Chain Processing uses it to keep chain anchors active
+// (Algorithm 4 line 9). Vertices whose exact eccentricity is already known
+// stay removed — their value is already reflected in the bound.
+//
+//fdiam:boundsetter
+func (s *solver) reactivate(v graph.Vertex) {
+	switch s.stage[v] {
+	case StageWinnow:
+		s.stats.RemovedWinnow--
+	case StageChain:
+		s.stats.RemovedChain--
+	case StageEliminate:
+		s.stats.RemovedEliminate--
+	default:
+		return // active, computed, or degree-0: nothing to undo
+	}
+	s.ecc[v] = Active
+	s.stage[v] = StageActive
+}
+
+// raiseLB raises the diameter lower bound to val with (a, b) as its
+// witness pair, and reports whether it did. The bound only moves up; the
+// sole exception is the very first write (no witness yet), which installs
+// the 2-sweep's initial bound unconditionally.
+//
+//fdiam:boundsetter
+func (s *solver) raiseLB(val int32, a, b graph.Vertex) bool {
+	if val > s.bound || s.witnessA == graph.NoVertex {
+		s.bound = val
+		s.witnessA, s.witnessB = a, b
+		return true
+	}
+	return false
+}
+
+// capUB lowers the proven diameter upper bound to val. The cap only moves
+// down once established (-1 means "none yet").
+//
+//fdiam:boundsetter
+func (s *solver) capUB(val int32) {
+	if s.ubCap < 0 || val < s.ubCap {
+		s.ubCap = val
+	}
+}
+
+// restoreVertexState installs a validated checkpoint snapshot's vertex
+// arrays and lower bound. The snapshot was captured at a main-loop
+// boundary of a previous process under these same setters, so monotonicity
+// holds across the restore (the checked build re-verifies the restored
+// state wholesale).
+//
+//fdiam:boundsetter
+func (s *solver) restoreVertexState(ecc []int32, stage []uint8, bound int32) {
+	copy(s.ecc, ecc)
+	for i, st := range stage {
+		s.stage[i] = Stage(st)
+	}
+	s.bound = bound
 }

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
 
 	"fdiam/internal/graph"
 	"fdiam/internal/obs"
-	"fdiam/internal/par"
 )
 
 // winnow removes every vertex within ⌊bound/2⌋ steps of the starting vertex
@@ -87,37 +85,5 @@ func (s *solver) winnow() {
 	if tr != nil {
 		tr.End("stage", "winnow", obs.I("removed_total", s.stats.RemovedWinnow))
 		s.observeProgress()
-	}
-}
-
-// markWinnowed removes all Active vertices of a frontier. Vertices that
-// already carry information (a computed eccentricity or an Eliminate upper
-// bound) keep it — they are removed either way, and the recorded value may
-// still seed a later region extension.
-//
-//fdiam:hotpath
-func (s *solver) markWinnowed(frontier []graph.Vertex, workers int) {
-	if workers > 1 && len(frontier) >= 4096 {
-		var removed int64
-		par.ForRange(len(frontier), workers, 0, func(lo, hi int) {
-			local := int64(0)
-			for _, v := range frontier[lo:hi] {
-				if s.ecc[v] == Active {
-					s.ecc[v] = Winnowed
-					s.stage[v] = StageWinnow
-					local++
-				}
-			}
-			atomic.AddInt64(&removed, local)
-		})
-		s.stats.RemovedWinnow += removed
-		return
-	}
-	for _, v := range frontier {
-		if s.ecc[v] == Active {
-			s.ecc[v] = Winnowed
-			s.stage[v] = StageWinnow
-			s.stats.RemovedWinnow++
-		}
 	}
 }

@@ -175,6 +175,7 @@ type Server struct {
 // but cannot be opened.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	//fdiamlint:ignore ctxflow server-lifetime root: baseCtx is deliberately not a child of any request ctx (see solve-context layering below)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -634,8 +635,11 @@ func fileExists(path string) bool {
 // and the result lands in the caches exactly as if a client had requested
 // it. Returns the number of orphaned solves that ran. It blocks until done
 // (callers wanting a non-blocking boot run it in a goroutine) and respects
-// MaxConcurrent via the same slot pool as request solves.
-func (s *Server) ResumeOrphans() int {
+// MaxConcurrent via the same slot pool as request solves. Cancelling ctx
+// bounds the recovery pass without shutting the server down: in-flight
+// orphan solves are cancelled (leaving their snapshots for the next boot)
+// and remaining directories are left untouched.
+func (s *Server) ResumeOrphans(ctx context.Context) int {
 	if s.cfg.CheckpointDir == "" {
 		return 0
 	}
@@ -645,10 +649,10 @@ func (s *Server) ResumeOrphans() int {
 	}
 	ran := 0
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || ctx.Err() != nil {
 			continue
 		}
-		if s.resumeOrphan(e.Name()) {
+		if s.resumeOrphan(ctx, e.Name()) {
 			ran++
 		}
 	}
@@ -659,7 +663,7 @@ func (s *Server) ResumeOrphans() int {
 // parsable graph copy is garbage from a crash mid-setup and is removed; a
 // solve cancelled by shutdown leaves its (freshly re-written) snapshot for
 // the next boot.
-func (s *Server) resumeOrphan(key string) bool {
+func (s *Server) resumeOrphan(ctx context.Context, key string) bool {
 	dir := filepath.Join(s.cfg.CheckpointDir, key)
 	data, err := os.ReadFile(filepath.Join(dir, graphFileName))
 	if err != nil {
@@ -682,11 +686,21 @@ func (s *Server) resumeOrphan(key string) bool {
 	case s.slots <- struct{}{}:
 	case <-s.baseCtx.Done():
 		return false
+	case <-ctx.Done():
+		return false
 	}
 	defer func() { <-s.slots }()
 
+	// The solve stops on whichever fires first: server shutdown (baseCtx)
+	// or the caller's recovery bound (ctx). As with request solves, the
+	// solve context is a child of baseCtx, with the caller's cancellation
+	// bridged in rather than parented.
+	solveCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	defer context.AfterFunc(ctx, cancel)()
+
 	s.gInflight.Add(1)
-	res := core.DiameterCtx(s.baseCtx, g, core.Options{Workers: s.cfg.Workers, Checkpoint: ck})
+	res := core.DiameterCtx(solveCtx, g, core.Options{Workers: s.cfg.Workers, Checkpoint: ck})
 	s.gInflight.Add(-1)
 
 	if res.Cancelled {

@@ -206,7 +206,7 @@ func TestResumeOrphans(t *testing.T) {
 	}
 
 	s, _, reg := newTestServer(t, Config{Workers: 1, CheckpointDir: ckDir})
-	ran := s.ResumeOrphans()
+	ran := s.ResumeOrphans(context.Background())
 	want := 1
 	if withSnap {
 		want = 2

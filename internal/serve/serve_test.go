@@ -239,10 +239,13 @@ func TestShutdownDrainsInFlightSolves(t *testing.T) {
 		}()
 	}
 
-	// Wait until one solve runs and one waits in the queue.
+	// Wait until one solve runs and one waits in the queue. The window is
+	// generous: under -race with the rest of the package's tests sharing
+	// the process, parsing two 4M-vertex request bodies can alone take
+	// tens of seconds before admission is even reached.
 	inflight := reg.Gauge("fdiamd_inflight_solves", "")
 	queued := reg.Gauge("fdiamd_queued_solves", "")
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(90 * time.Second)
 	for inflight.Value() != 1 || queued.Value() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatalf("admission never settled: inflight=%d queued=%d", inflight.Value(), queued.Value())
