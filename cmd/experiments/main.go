@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -151,7 +152,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if wantExt("ext-allecc") {
 		ran = true
-		bench.TableAllEcc(out, catalog(), cfg)
+		bench.TableAllEcc(context.Background(), out, catalog(), cfg)
 	}
 	if wantExt("ext-diropt") {
 		ran = true

@@ -18,11 +18,21 @@
 //	fdiam -trace run.json -json web.txt
 //	fdiam -http :6060 -progress 2s road.gr
 //	fdiam -checkpoint-dir ./ckpt -checkpoint-interval 30s huge.gr
+//	fdiam -epsilon 2 huge.gr
+//	fdiam -approx 8 huge.gr
 //
 // With -checkpoint-dir, the solver snapshots its state there periodically;
 // re-running the same command after an interruption (Ctrl-C, crash, kill -9)
 // resumes from the snapshot instead of starting over, redoing at most one
 // checkpoint interval of work.
+//
+// -epsilon and -approx trade exactness for time, but never soundness: the
+// reported corridor [diameter, upper] always contains the true diameter.
+// -epsilon N stops the solve once upper − lower ≤ N (an ε-stopped
+// checkpointed run records N in its snapshot, so a plain resume keeps
+// honoring it; resume with -epsilon -1 to force an exact finish). -approx K
+// skips the main loop entirely and builds the corridor from K double
+// sweeps.
 package main
 
 import (
@@ -83,6 +93,8 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Duration("progress", 0, "log a one-line progress status to stderr at this interval; fdiam only")
 	ckDir := fs.String("checkpoint-dir", "", "write crash-safe snapshots here and auto-resume from an existing one; fdiam only")
 	ckEvery := fs.Duration("checkpoint-interval", 0, "snapshot cadence (0 = solver default 10s); fdiam only")
+	epsilon := fs.Int("epsilon", 0, "stop once upper − lower ≤ this tolerance and report the corridor (0 = exact, -1 = force exact even when resuming an ε snapshot); fdiam only")
+	approxSweeps := fs.Int("approx", 0, "approximate: spend this many double sweeps instead of the exact solve and report the corridor; fdiam only")
 	logFormat := fs.String("log-format", "", "emit structured solver logs to stderr: text or json (empty = off)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug includes stage and bound events)")
 	if err := fs.Parse(args); err != nil {
@@ -91,8 +103,15 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
 	}
-	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0 || *ckDir != "") {
-		return fmt.Errorf("-trace, -events, -progress and -checkpoint-dir require -algo fdiam")
+	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0 || *ckDir != "" ||
+		*epsilon != 0 || *approxSweeps != 0) {
+		return fmt.Errorf("-trace, -events, -progress, -checkpoint-dir, -epsilon and -approx require -algo fdiam")
+	}
+	if *epsilon < -1 {
+		return fmt.Errorf("-epsilon %d: use a tolerance ≥ 0, or -1 to force exactness on resume", *epsilon)
+	}
+	if *approxSweeps < 0 {
+		return fmt.Errorf("-approx %d: the sweep budget cannot be negative", *approxSweeps)
 	}
 	if err := fault.ConfigureFromEnv(); err != nil {
 		return err
@@ -227,6 +246,8 @@ func run(args []string, out io.Writer) error {
 			},
 			Checkpoint: ck,
 			Trace:      trace,
+			Epsilon:    int32(*epsilon),
+			Approx:     core.ApproxOptions{Sweeps: *approxSweeps},
 		})
 		if res.ResumeError != "" {
 			fmt.Fprintf(os.Stderr, "fdiam: checkpoint resume failed (%s); solved from scratch\n", res.ResumeError)
@@ -240,10 +261,10 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		if *jsonOut {
-			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
-				res.TimedOut, res.Cancelled, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
+			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Upper, res.Infinite,
+				res.TimedOut, res.Cancelled, res.Approximate, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
 		}
-		report(out, res.Diameter, res.Infinite, res.TimedOut, res.Cancelled, elapsed)
+		report(out, res.Diameter, res.Upper, res.Infinite, res.TimedOut, res.Cancelled, res.Approximate, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: %s\n", res.Stats.String())
 		}
@@ -262,10 +283,10 @@ func run(args []string, out io.Writer) error {
 		}
 		elapsed := time.Since(start)
 		if *jsonOut {
-			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Infinite,
-				res.TimedOut, false, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
+			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Diameter, res.Infinite,
+				res.TimedOut, false, false, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
 		}
-		report(out, res.Diameter, res.Infinite, res.TimedOut, false, elapsed)
+		report(out, res.Diameter, res.Diameter, res.Infinite, res.TimedOut, false, false, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: bfs-traversals=%d\n", res.BFSTraversals)
 		}
@@ -279,9 +300,15 @@ func run(args []string, out io.Writer) error {
 // (graphs with no edges, or baseline algorithms that do not track a pair)
 // so consumers need not know the NoVertex sentinel.
 type jsonResult struct {
-	Algorithm     string      `json:"algorithm"`
-	Graph         string      `json:"graph"`
-	Diameter      int32       `json:"diameter"`
+	Algorithm string `json:"algorithm"`
+	Graph     string `json:"graph"`
+	Diameter  int32  `json:"diameter"`
+	// Upper is the best proven upper bound (== diameter unless the run
+	// stopped early via -epsilon/-approx, in which case approximate is set
+	// and the true diameter lies in [diameter, upper]).
+	Upper         int32       `json:"upper"`
+	Gap           int32       `json:"gap"`
+	Approximate   bool        `json:"approximate"`
 	Infinite      bool        `json:"infinite"`
 	TimedOut      bool        `json:"timed_out"`
 	Cancelled     bool        `json:"cancelled"`
@@ -292,7 +319,7 @@ type jsonResult struct {
 	BFSTraversals int64       `json:"bfs_traversals,omitempty"` // baselines only
 }
 
-func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, timedOut, cancelled bool,
+func writeJSON(out io.Writer, algo, graphPath string, diameter, upper int32, infinite, timedOut, cancelled, approximate bool,
 	witnessA, witnessB uint32, elapsed time.Duration, st *core.Stats, baselineBFS int64) error {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
@@ -305,6 +332,9 @@ func writeJSON(out io.Writer, algo, graphPath string, diameter int32, infinite, 
 		Algorithm:     algo,
 		Graph:         graphPath,
 		Diameter:      diameter,
+		Upper:         upper,
+		Gap:           upper - diameter,
+		Approximate:   approximate,
 		Infinite:      infinite,
 		TimedOut:      timedOut,
 		Cancelled:     cancelled,
@@ -321,12 +351,15 @@ func fileExists(path string) bool {
 	return err == nil
 }
 
-func report(out io.Writer, diameter int32, infinite, timedOut, cancelled bool, elapsed time.Duration) {
+func report(out io.Writer, diameter, upper int32, infinite, timedOut, cancelled, approximate bool, elapsed time.Duration) {
 	switch {
 	case timedOut:
 		fmt.Fprintf(out, "TIMEOUT after %s (best lower bound: %d)\n", elapsed.Round(time.Millisecond), diameter)
 	case cancelled:
 		fmt.Fprintf(out, "CANCELLED after %s (best lower bound: %d)\n", elapsed.Round(time.Millisecond), diameter)
+	case approximate:
+		fmt.Fprintf(out, "diameter: in [%d, %d] (approximate, gap %d)  [%s]\n",
+			diameter, upper, upper-diameter, elapsed.Round(time.Microsecond))
 	case infinite:
 		fmt.Fprintf(out, "diameter: infinite (disconnected); largest CC eccentricity: %d  [%s]\n",
 			diameter, elapsed.Round(time.Microsecond))

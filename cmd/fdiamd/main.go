@@ -14,6 +14,16 @@
 //	GET  /progress/stream   SSE feed of bound-corridor + progress events
 //	GET  /debug/pprof/      standard profiling tree
 //
+// Anytime answers: POST /diameter?epsilon=E stops the solve once the
+// bound corridor satisfies ub − lb ≤ E and responds with the corridor
+// ({"diameter": lb, "upper": ub, "gap": ub−lb, "approximate": true}); the
+// true diameter always lies inside it. POST /diameter?mode=approx[&sweeps=S]
+// skips the main loop entirely and answers from S budgeted double sweeps
+// (default 4, max 64) — fast, sound, and deterministic for a given graph.
+// Approximate results are cached under parameter-qualified keys so they
+// never satisfy a later exact request, while a cached exact answer
+// satisfies any tolerance.
+//
 // POST /diameter?stream=bounds streams the solve as Server-Sent Events:
 // one `bound` event per corridor tightening ({lb, ub, witness_a,
 // witness_b, elapsed_ns}) and a terminal `result` event carrying the

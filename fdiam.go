@@ -223,15 +223,37 @@ type NetworkInfo = ecc.Info
 
 // AnalyzeNetwork computes NetworkInfo with the Takes–Kosters bounded
 // all-eccentricities algorithm — typically a small fraction of n BFS
-// traversals instead of the brute-force n.
-func AnalyzeNetwork(g *Graph, workers int) NetworkInfo { return ecc.FastInfo(g, workers) }
+// traversals instead of the brute-force n. Cancellable callers use
+// AnalyzeNetworkCtx.
+func AnalyzeNetwork(g *Graph, workers int) NetworkInfo {
+	//fdiamlint:ignore ctxflow the facade's whole point is synthesizing the root ctx for AnalyzeNetworkCtx
+	return AnalyzeNetworkCtx(context.Background(), g, workers)
+}
+
+// AnalyzeNetworkCtx is AnalyzeNetwork under a context: cancelling ctx stops
+// the computation at the next BFS boundary, and the aggregates then reflect
+// the (sound but inexact) lower bounds established so far — use
+// AllEccentricitiesCtx directly when the truncation verdict matters.
+func AnalyzeNetworkCtx(ctx context.Context, g *Graph, workers int) NetworkInfo {
+	return ecc.FastInfo(ctx, g, workers)
+}
 
 // AllEccentricities computes the exact eccentricity of every vertex with
 // eccentricity bounding, returning the values and the number of BFS
-// traversals spent.
+// traversals spent. Cancellable callers use AllEccentricitiesCtx.
 func AllEccentricities(g *Graph, workers int) ([]int32, int64) {
-	res := ecc.BoundedAll(g, workers)
-	return res.Eccs, res.BFSTraversals
+	//fdiamlint:ignore ctxflow the facade's whole point is synthesizing the root ctx for AllEccentricitiesCtx
+	eccs, traversals, _ := AllEccentricitiesCtx(context.Background(), g, workers)
+	return eccs, traversals
+}
+
+// AllEccentricitiesCtx is AllEccentricities under a context, additionally
+// reporting whether cancellation truncated the computation (mirroring
+// ecc.AllResult.Truncated: unresolved entries then hold valid lower bounds,
+// not exact eccentricities).
+func AllEccentricitiesCtx(ctx context.Context, g *Graph, workers int) (eccs []int32, traversals int64, truncated bool) {
+	res := ecc.BoundedAll(ctx, g, workers)
+	return res.Eccs, res.BFSTraversals, res.Truncated
 }
 
 // ReorderBFS relabels g in BFS discovery order from the max-degree vertex,

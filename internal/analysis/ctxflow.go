@@ -13,7 +13,7 @@ import (
 // work (ROADMAP) will multiply such paths. Three rules:
 //
 //	A. An exported API in the solver-facing packages (internal/core, bfs,
-//	   serve, checkpoint) whose summary blocks must accept a
+//	   serve, checkpoint, ecc) whose summary blocks must accept a
 //	   context.Context as its first parameter. Exempt: methods on types
 //	   with a SetCancel method (the Engine contract bridges contexts to an
 //	   atomic stop flag at the rim, keeping the per-level kernels
@@ -38,6 +38,7 @@ var ctxScopeSuffixes = []string{
 	"internal/bfs",
 	"internal/serve",
 	"internal/checkpoint",
+	"internal/ecc",
 }
 
 func runCtxFlow(pass *Pass) error {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -270,7 +271,7 @@ func TestExtensionExperiments(t *testing.T) {
 	var buf bytes.Buffer
 	small := tinyCatalog(t)[:1] // one workload keeps the naive baseline affordable
 	TableExtensions(&buf, small, cfg)
-	TableAllEcc(&buf, tinyCatalog(t), cfg)
+	TableAllEcc(context.Background(), &buf, tinyCatalog(t), cfg)
 	TableDirOpt(&buf, tinyCatalog(t), cfg)
 	out := buf.String()
 	for _, want := range []string{"Korf", "Vertex-centric", "all-vertex eccentricities", "direction-optimized"} {

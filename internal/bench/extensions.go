@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -94,15 +95,16 @@ func TableExtensions(w io.Writer, workloads []*Workload, cfg Config) {
 
 // TableAllEcc measures the bounded all-eccentricities computation
 // (diameter + radius + full distribution) against brute force, reporting
-// the traversal savings.
-func TableAllEcc(w io.Writer, workloads []*Workload, cfg Config) {
+// the traversal savings. Cancelling ctx stops mid-catalog with the rows
+// rendered so far (a truncated eccentricity run is reported as such).
+func TableAllEcc(ctx context.Context, w io.Writer, workloads []*Workload, cfg Config) {
 	t := NewTable("Extension table: all-vertex eccentricities via bounding (vs n brute-force BFS)",
 		"graph", "vertices", "BFS used", "saving", "diameter", "radius", "time")
 	for _, wl := range workloads {
 		g := wl.Graph()
 		n := g.NumVertices()
 		start := time.Now()
-		res := ecc.BoundedAll(g, cfg.Workers)
+		res := ecc.BoundedAll(ctx, g, cfg.Workers)
 		elapsed := time.Since(start)
 		var diam, radius int32
 		radius = int32(n)
@@ -119,11 +121,18 @@ func TableAllEcc(w io.Writer, workloads []*Workload, cfg Config) {
 		if res.BFSTraversals > 0 {
 			saving = fmt.Sprintf("%.1fx", float64(n)/float64(res.BFSTraversals))
 		}
+		diamCol := fmt.Sprintf("%d", diam)
+		if res.Truncated {
+			diamCol += " (truncated)"
+		}
 		t.Add(wl.Name, stats.FormatCount(int64(n)),
 			fmt.Sprintf("%d", res.BFSTraversals), saving,
-			fmt.Sprintf("%d", diam), fmt.Sprintf("%d", radius),
+			diamCol, fmt.Sprintf("%d", radius),
 			elapsed.Round(time.Millisecond).String())
 		wl.Release()
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	t.Render(w)
 }

@@ -38,7 +38,9 @@ const magic = "FDIAMCK1"
 // version is the payload schema version. Readers reject snapshots from a
 // different version outright: resuming is an exactness-critical operation
 // and cross-version field guessing is how silent wrong diameters happen.
-const version = 1
+// v2 added the Epsilon and UbCap fields (the anytime corridor recorded so
+// resume honors the tolerance and reopens at the proven upper bound).
+const version = 2
 
 // FileName is the canonical snapshot name inside a checkpoint directory.
 // One solve owns one directory; Write replaces the file atomically, so the
@@ -126,6 +128,16 @@ type Snapshot struct {
 	// Infinite records the connectivity verdict of the completed 2-sweep.
 	Infinite bool
 
+	// Epsilon is the anytime tolerance the interrupted run was using
+	// (0 = exact). A resume with no explicit ε of its own adopts it, so a
+	// refinement chain keeps the tolerance the original caller asked for.
+	Epsilon int32
+
+	// UbCap is the best proven diameter upper bound at snapshot time
+	// (-1 = none yet). Restoring it lets a resumed anytime run reopen at
+	// the corridor it stopped in instead of the trivial n−1 cap.
+	UbCap int32
+
 	// Ecc and Stage are the per-vertex solver state (core's encoding:
 	// MaxInt32 = active, -1 = winnowed, other = recorded bound or exact
 	// eccentricity; Stage attributes each removal).
@@ -185,7 +197,7 @@ func GraphHash(g *graph.Graph) [32]byte {
 // encode serializes the payload (everything the CRC covers).
 func (s *Snapshot) encode() []byte {
 	n := len(s.Ecc)
-	size := 4 + 32 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 17*8 + 8 + 5*n +
+	size := 4 + 32 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 4 + 4 + 17*8 + 8 + 5*n +
 		8 + 4*len(s.WinnowFrontier) + 8 + 8*len(s.ChainDone) + 8
 	for _, ring := range s.ChainRing {
 		size += 12 + 4*len(ring)
@@ -212,6 +224,8 @@ func (s *Snapshot) encode() []byte {
 	}
 	u32(flags)
 	i32(s.WinnowDepth)
+	i32(s.Epsilon)
+	i32(s.UbCap)
 
 	c := &s.Counters
 	for _, v := range []int64{
@@ -330,6 +344,8 @@ func decode(payload []byte) (*Snapshot, error) {
 	flags := d.u32()
 	s.Infinite = flags&1 != 0
 	s.WinnowDepth = d.i32()
+	s.Epsilon = d.i32()
+	s.UbCap = d.i32()
 
 	c := &s.Counters
 	for _, p := range []*int64{
@@ -520,6 +536,12 @@ func (s *Snapshot) Validate(g *graph.Graph) error {
 	}
 	if s.Bound < 0 || (n > 0 && int64(s.Bound) >= int64(n)) {
 		return fmt.Errorf("%w: bound %d out of range for %d vertices", ErrCorrupt, s.Bound, n)
+	}
+	if s.Epsilon < 0 {
+		return fmt.Errorf("%w: negative epsilon %d", ErrCorrupt, s.Epsilon)
+	}
+	if s.UbCap != -1 && (s.UbCap < s.Bound || (n > 0 && int64(s.UbCap) >= int64(n))) {
+		return fmt.Errorf("%w: upper bound %d outside [%d, %d]", ErrCorrupt, s.UbCap, s.Bound, n-1)
 	}
 
 	// Per-vertex encoding agreement + counter tally (mirrors the

@@ -24,6 +24,7 @@ func testSnapshot(g *graph.Graph) *Snapshot {
 		WitnessB:       uint32(n - 1),
 		NextVertex:     3,
 		Infinite:       false,
+		UbCap:          int32(n - 1),
 		Ecc:            make([]int32, n),
 		Stage:          make([]uint8, n),
 		WinnowFrontier: []uint32{1, 2},

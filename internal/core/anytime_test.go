@@ -1,0 +1,152 @@
+package core
+
+// Anytime-tier tests: ε = 0 must be byte-for-byte the exact solver, ε > 0
+// and approximation mode must always report a sound corridor with honest
+// gap accounting, and an ε-stopped run's snapshot must resume correctly
+// under all three Epsilon precedence rules (adopt / override / force-exact).
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fdiam/internal/checkpoint"
+	"fdiam/internal/ecc"
+	"fdiam/internal/gen"
+	"fdiam/internal/graph"
+)
+
+// TestEpsilonZeroBitIdentical: Epsilon 0 takes the identical code path as
+// the exact solver — same diameter, same witnesses, same counters — across
+// the whole catalog, and the result never claims approximation.
+func TestEpsilonZeroBitIdentical(t *testing.T) {
+	for name, g := range batchCatalog() {
+		ref := Diameter(g, Options{Workers: 1})
+		res := Diameter(g, Options{Workers: 1, Epsilon: 0})
+		assertBatchEquivalent(t, name, ref, res)
+		if res.WitnessA != ref.WitnessA || res.WitnessB != ref.WitnessB {
+			t.Errorf("%s: witnesses (%d,%d), want (%d,%d)",
+				name, res.WitnessA, res.WitnessB, ref.WitnessA, ref.WitnessB)
+		}
+		if res.Approximate || res.Gap != 0 || res.Upper != res.Diameter {
+			t.Errorf("%s: exact run reports upper=%d gap=%d approximate=%v",
+				name, res.Upper, res.Gap, res.Approximate)
+		}
+	}
+}
+
+// assertSoundCorridor checks the anytime contract on one result: the true
+// diameter lies in [Diameter, Upper] and the gap accounting is honest.
+func assertSoundCorridor(t *testing.T, label string, want int32, res Result) {
+	t.Helper()
+	if res.Cancelled || res.TimedOut {
+		t.Errorf("%s: unexpected cancellation", label)
+	}
+	if res.Diameter > want || res.Upper < want {
+		t.Errorf("%s: corridor [%d, %d] excludes true diameter %d",
+			label, res.Diameter, res.Upper, want)
+	}
+	if res.Gap != res.Upper-res.Diameter {
+		t.Errorf("%s: gap %d != upper %d - lb %d", label, res.Gap, res.Upper, res.Diameter)
+	}
+	if res.Approximate != (res.Gap > 0) {
+		t.Errorf("%s: approximate=%v with gap %d", label, res.Approximate, res.Gap)
+	}
+}
+
+// TestEpsilonSoundCorridor sweeps tolerances over the catalog. Small ε
+// mostly degenerates to exact runs (the upper bound moves only at the
+// 2-sweep and at completion); large ε stops at the 2-sweep corridor. Both
+// ends must stay sound and within tolerance.
+func TestEpsilonSoundCorridor(t *testing.T) {
+	for name, g := range batchCatalog() {
+		want := ecc.Diameter(g, 0)
+		for _, eps := range []int32{1, 10, 1 << 20} {
+			res := Diameter(g, Options{Workers: 1, Epsilon: eps})
+			label := name
+			assertSoundCorridor(t, label, want, res)
+			if res.Gap > eps {
+				t.Errorf("%s ε=%d: exited with gap %d", name, eps, res.Gap)
+			}
+		}
+	}
+}
+
+// TestApproxSoundCorridor: approximation mode never runs the main loop's
+// machinery (no winnow, no eliminate, no batches), spends at most two BFS
+// per sweep, and still brackets the true diameter.
+func TestApproxSoundCorridor(t *testing.T) {
+	const sweeps = 3
+	for name, g := range batchCatalog() {
+		want := ecc.Diameter(g, 0)
+		res := Diameter(g, Options{Workers: 1, Approx: ApproxOptions{Sweeps: sweeps, Seed: 42}})
+		assertSoundCorridor(t, name, want, res)
+		st := res.Stats
+		if st.WinnowCalls != 0 || st.EliminateCalls != 0 || st.MSBFSBatches != 0 {
+			t.Errorf("%s: approx ran solver machinery: winnow=%d eliminate=%d batches=%d",
+				name, st.WinnowCalls, st.EliminateCalls, st.MSBFSBatches)
+		}
+		if st.EccBFS > 2*sweeps {
+			t.Errorf("%s: %d BFS exceeds the %d-sweep budget", name, st.EccBFS, 2*sweeps)
+		}
+	}
+}
+
+// TestApproxCollapsesOnPath: on a path the double sweep proves lb = ub =
+// n−1 immediately, so even a single sweep returns an exact (not
+// approximate) answer.
+func TestApproxCollapsesOnPath(t *testing.T) {
+	res := Diameter(gen.Path(500), Options{Workers: 1, Approx: ApproxOptions{Sweeps: 1}})
+	if res.Approximate || res.Diameter != 499 || res.Upper != 499 || res.Gap != 0 {
+		t.Fatalf("path approx: %+v", res)
+	}
+	if res.WitnessA == graph.NoVertex || res.WitnessB == graph.NoVertex {
+		t.Fatal("collapsed approx run carries no witness pair")
+	}
+}
+
+// TestEpsilonResume covers the three resume precedence rules. The 30×30
+// grid's 2-sweep corridor is [58, 112] (gap 54, and no vertex eccentricity
+// is below 30, so it cannot close before completion): ε=60 stops at the
+// first main-loop boundary leaving a positioned snapshot that records the
+// tolerance.
+func TestEpsilonResume(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	const want = 58
+	dir := t.TempDir()
+	res := Diameter(g, Options{Workers: 1, Epsilon: 60,
+		Checkpoint: CheckpointOptions{Dir: dir}})
+	if !res.Approximate || res.Gap > 60 || res.Diameter > want || res.Upper < want {
+		t.Fatalf("ε-stop: %+v", res)
+	}
+	snapPath := filepath.Join(dir, checkpoint.FileName)
+	snap, err := checkpoint.Read(snapPath)
+	if err != nil {
+		t.Fatalf("ε-stop left no snapshot: %v", err)
+	}
+	if snap.Epsilon != 60 {
+		t.Fatalf("snapshot epsilon %d, want 60", snap.Epsilon)
+	}
+
+	// Epsilon 0 adopts the snapshot's tolerance: the resumed run stops
+	// immediately in the same corridor.
+	adopted := Diameter(g, Options{Workers: 1,
+		Checkpoint: CheckpointOptions{ResumeFrom: snapPath}})
+	if !adopted.Resumed || !adopted.Approximate || adopted.Gap > 60 {
+		t.Fatalf("adopting resume: %+v", adopted)
+	}
+
+	// Epsilon -1 forces an exact resume despite the recorded tolerance.
+	exact := Diameter(g, Options{Workers: 1, Epsilon: -1,
+		Checkpoint: CheckpointOptions{ResumeFrom: snapPath}})
+	if !exact.Resumed || exact.Approximate || exact.Diameter != want || exact.Upper != want {
+		t.Fatalf("forced-exact resume: %+v", exact)
+	}
+
+	// An explicit tighter ε overrides the recorded one. ε=54 equals the
+	// snapshot gap, so the resumed run still stops, now proving gap ≤ 54.
+	tighter := Diameter(g, Options{Workers: 1, Epsilon: 54,
+		Checkpoint: CheckpointOptions{ResumeFrom: snapPath}})
+	if !tighter.Resumed || tighter.Gap > 54 || tighter.Diameter > want || tighter.Upper < want {
+		t.Fatalf("overriding resume: %+v", tighter)
+	}
+}

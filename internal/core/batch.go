@@ -142,7 +142,16 @@ func (s *solver) runBatch(vstart int) bool {
 	}
 
 	committed, discarded := 0, 0
+	stopped := false
 	for i, src := range sources {
+		// ε-early-exit inside the batch: once the corridor is within
+		// tolerance the remaining sources' results are discarded without
+		// being committed (sound — they were never recorded), and the
+		// main loop's own check stops the run at its next iteration.
+		if s.epsilonReached() {
+			stopped = true
+			break
+		}
 		if s.ecc[src] != Active {
 			// An earlier commit's winnow/eliminate already removed this
 			// source: its batch slot is wasted work, never state.
@@ -184,7 +193,13 @@ func (s *solver) runBatch(vstart int) bool {
 		s.observeProgress()
 	}
 	tr.BatchDone(committed, discarded)
-	s.ckptAfterVertex(last + 1)
+	if !stopped {
+		// A snapshot resuming at last+1 is only sound when every source up
+		// to last was committed or discarded; an ε-stop leaves uncommitted
+		// Active sources behind, and the main loop's exit path writes the
+		// correctly-positioned snapshot instead.
+		s.ckptAfterVertex(last + 1)
+	}
 	return true
 }
 

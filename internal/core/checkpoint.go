@@ -109,6 +109,19 @@ func (s *solver) tryResume() bool {
 			s.chainRing[graph.Vertex(k)] = r
 		}
 	}
+	// Resume honors the snapshot's anytime tolerance: a caller that did
+	// not choose an ε of its own (Options.Epsilon == 0) adopts the one the
+	// interrupted run was using; an explicit positive ε overrides it, and
+	// a negative ε forces an exact resume.
+	if s.opt.Epsilon == 0 && snap.Epsilon > 0 {
+		s.epsilon = snap.Epsilon
+	}
+	// Reopen the corridor at the recorded proven upper bound (run() still
+	// applies the trivial n−1 cap; capUB keeps whichever is tighter), so
+	// an adopted ε that was already satisfied stops again immediately.
+	if snap.UbCap >= 0 {
+		s.capUB(snap.UbCap)
+	}
 	s.statsFromCounters(&snap.Counters)
 	s.baseTotal = snap.Counters.TimeTotal
 	s.baseDirSwitches = snap.Counters.DirSwitches
@@ -143,6 +156,12 @@ func (s *solver) buildSnapshot(next int64) *checkpoint.Snapshot {
 		Stage:          make([]uint8, len(s.stage)),
 		WinnowFrontier: make([]uint32, len(s.winnowFrontier)),
 		WinnowDepth:    s.winnowDepth,
+		UbCap:          s.ubCap,
+	}
+	// Record the effective anytime tolerance (never the negative
+	// force-exact sentinel) so a ctx-less resume keeps honoring it.
+	if s.epsilon > 0 {
+		snap.Epsilon = s.epsilon
 	}
 	for i, st := range s.stage {
 		snap.Stage[i] = uint8(st)

@@ -82,6 +82,19 @@ type solver struct {
 	// Published with the lower bound as the streaming [lb, ub] corridor.
 	ubCap int32
 
+	// epsilon is the effective anytime tolerance: Options.Epsilon, unless
+	// a resumed snapshot recorded a positive ε and the caller passed 0, in
+	// which case the snapshot's value is adopted (tryResume). Values ≤ 0
+	// disable the early exit.
+	epsilon int32
+
+	// earlyExit records why the run stopped before proving lb == ub: ""
+	// for a run that went the distance, exitEpsilon for the ε-early-exit,
+	// exitApprox for approximation mode. finish() keeps the corridor open
+	// (no capUB collapse) exactly when this is set or the run was
+	// cancelled.
+	earlyExit string
+
 	// lg receives the run's structured log lines (stage transitions, bound
 	// improvements, completion). Carried in via the context so fdiamd's
 	// per-request logger makes every line joinable on request_id; defaults
@@ -157,6 +170,7 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 		//fdiamlint:ignore ctxflow constructor default only; DiameterCtx overwrites it with the caller's ctx before solving
 		ctx:       context.Background(),
 		ubCap:     -1,
+		epsilon:   opt.Epsilon,
 		lg:        obs.DiscardLogger(),
 		witnessA:  graph.NoVertex,
 		witnessB:  graph.NoVertex,
@@ -168,6 +182,34 @@ func newSolver(g *graph.Graph, opt Options) *solver {
 // cancelled reports whether the run's context is done. One atomic load —
 // cheap enough for per-vertex loops (the chain scan, the main loop).
 func (s *solver) cancelled() bool { return s.cancelFlag.Load() }
+
+// Early-exit reasons recorded in solver.earlyExit and reported as the
+// solve_done outcome.
+const (
+	exitEpsilon = "epsilon"
+	exitApprox  = "approx"
+)
+
+// epsilonReached reports whether the ε-early-exit fires: a positive
+// tolerance is configured and the proven corridor is at least that tight.
+// Soundness is inherited from the corridor itself — bound is a realized
+// lower bound (a witness pair is exactly bound apart) and ubCap a proven
+// cap, so stopping any time they are within ε reports an honest gap.
+func (s *solver) epsilonReached() bool {
+	return s.epsilon > 0 && s.ubCap >= 0 && s.ubCap-s.bound <= s.epsilon
+}
+
+// corridorClosed reports that the corridor is within the requested
+// tolerance treating a non-positive ε as 0 — approximation mode's stopping
+// rule, which always quits once the answer is exact (gap 0) even with no ε
+// configured.
+func (s *solver) corridorClosed() bool {
+	eps := s.epsilon
+	if eps < 0 {
+		eps = 0
+	}
+	return s.ubCap >= 0 && s.ubCap-s.bound <= eps
+}
 
 func (s *solver) run() Result {
 	// Park-released worker goroutines belong to this run's engine;
@@ -184,17 +226,19 @@ func (s *solver) run() Result {
 	// from plain cancellation.
 	finish := func(infinite bool) Result {
 		cancelled := s.cancelled()
+		early := s.earlyExit != ""
 		if checkedBuild {
 			s.checkStateConsistency("final")
-			s.checkFinal(infinite, cancelled)
+			s.checkFinal(infinite, cancelled, early)
 		}
 		s.stats.DirSwitches = s.baseDirSwitches + s.e.DirectionSwitches()
 		s.stats.TimeTotal = s.baseTotal + time.Since(tStart)
 		timedOut := cancelled && errors.Is(context.Cause(s.ctx), context.DeadlineExceeded)
-		// Terminal corridor event: completion proves the lower bound exact
-		// (lb == ub); an aborted run that never finished its 2-sweep still
-		// reports the trivial n−1 cap rather than "unknown".
-		if !cancelled {
+		// Terminal corridor event: full completion proves the lower bound
+		// exact (lb == ub); an early exit (ε-stop, approximation mode) keeps
+		// the honest open corridor; an aborted run that never finished its
+		// 2-sweep still reports the trivial n−1 cap rather than "unknown".
+		if !cancelled && !early {
 			s.capUB(s.bound)
 		} else if s.ubCap < 0 {
 			if nv := s.g.NumVertices(); nv > 0 {
@@ -202,19 +246,41 @@ func (s *solver) run() Result {
 			}
 		}
 		s.publishBounds()
+		upper := s.ubCap
+		if upper < 0 {
+			// Unreachable in practice (finish is never called with n == 0),
+			// kept so a pathological path still reports a closed corridor.
+			upper = s.bound
+		}
+		gap := upper - s.bound
+		if early && !cancelled {
+			cEarlyExits.Inc()
+			if s.earlyExit == exitApprox {
+				hEarlyGapApprox.Observe(int64(gap))
+			} else {
+				hEarlyGapEpsilon.Observe(int64(gap))
+			}
+		}
 		if s.lg.Enabled(s.ctx, slog.LevelInfo) {
 			outcome := "ok"
-			if timedOut {
+			switch {
+			case timedOut:
 				outcome = "timeout"
-			} else if cancelled {
+			case cancelled:
 				outcome = "cancelled"
+			case early:
+				outcome = s.earlyExit
 			}
 			s.lg.Info("solve_done",
-				obs.KeyDiameter, s.bound, obs.KeyOutcome, outcome,
+				obs.KeyDiameter, s.bound, obs.KeyUpper, upper, obs.KeyGap, gap,
+				obs.KeyOutcome, outcome,
 				obs.KeyElapsedMS, s.stats.TimeTotal.Milliseconds())
 		}
 		return Result{
 			Diameter:    s.bound,
+			Upper:       upper,
+			Gap:         gap,
+			Approximate: gap > 0,
 			Infinite:    infinite,
 			TimedOut:    timedOut,
 			Cancelled:   cancelled,
@@ -281,6 +347,12 @@ func (s *solver) run() Result {
 			WitnessA: graph.NoVertex, WitnessB: graph.NoVertex,
 			Stats: s.stats,
 		}
+	}
+
+	// Sampled approximation mode: a few double sweeps build the corridor
+	// and the run stops there — no Winnow, no main loop, no checkpointing.
+	if s.opt.Approx.Sweeps > 0 {
+		return finish(s.approxRun(firstNonIsolated))
 	}
 
 	// Checkpointing and resume. A restored snapshot was captured at a
@@ -400,6 +472,22 @@ func (s *solver) run() Result {
 	s.ck.infinite = infinite
 	completed := true
 	for v := s.resumeNext; v < n; v++ {
+		// ε-early-exit: stop as soon as the corridor is within tolerance.
+		// The check runs before the Active skip so a tolerance met by the
+		// 2-sweep/Winnow stages (or a resumed snapshot) stops the loop on
+		// entry. The stopping point is checkpointed so a later exact (or
+		// tighter-ε) run refines from here instead of starting over — every
+		// vertex below v is already removed or computed, which is exactly
+		// the snapshot's NextVertex contract.
+		if s.epsilonReached() {
+			s.earlyExit = exitEpsilon
+			if tr != nil {
+				tr.Instant("run", "epsilon-exit")
+			}
+			s.writeCheckpoint(int64(v))
+			completed = false
+			break
+		}
 		if s.ecc[v] != Active {
 			continue
 		}

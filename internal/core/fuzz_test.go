@@ -68,5 +68,26 @@ func FuzzDiameterMatchesNaive(f *testing.F) {
 				t.Fatalf("opt %+v: no witness pair on a graph with edges", opt)
 			}
 		}
+		// Anytime tiers: whatever they return, the true diameter must lie
+		// in the reported corridor, and the gap accounting must be honest.
+		for _, opt := range []Options{
+			{Epsilon: 2, Workers: 1},
+			{Approx: ApproxOptions{Sweeps: 2, Seed: 7}, Workers: 1},
+		} {
+			got := Diameter(g, opt)
+			if got.Diameter > want || got.Upper < want {
+				t.Fatalf("opt %+v: corridor [%d, %d] excludes true diameter %d (edges %v)",
+					opt, got.Diameter, got.Upper, want, g.Edges())
+			}
+			if got.Gap != got.Upper-got.Diameter {
+				t.Fatalf("opt %+v: gap %d != upper %d - lb %d", opt, got.Gap, got.Upper, got.Diameter)
+			}
+			if got.Approximate != (got.Gap > 0) {
+				t.Fatalf("opt %+v: approximate=%v with gap %d", opt, got.Approximate, got.Gap)
+			}
+			if opt.Epsilon > 0 && got.Gap > opt.Epsilon {
+				t.Fatalf("ε=%d run exited with gap %d", opt.Epsilon, got.Gap)
+			}
+		}
 	})
 }

@@ -294,14 +294,26 @@ func (s *solver) checkStateConsistency(where string) {
 // bound is recomputed with the naive APSP-by-BFS baseline, which shares no
 // code with the winnow/eliminate pipeline. A mismatch here is exactly the
 // "plausible but wrong diameter" failure mode bound-bookkeeping bugs
-// produce. Also audits every recorded upper bound against the true
-// eccentricities while the distances are at hand.
-func (s *solver) checkFinal(infinite, timedOut bool) {
-	if timedOut || len(s.ecc) == 0 || len(s.ecc) > checkedDiffMaxN {
+// produce. For a run that stopped early by choice (ε-early-exit or
+// approximation mode, early=true) the equality check relaxes to corridor
+// containment — the partial-run soundness contract: lb ≤ truth ≤ ubCap.
+// Cancelled runs are skipped entirely (their bounds are sound by the same
+// argument but the connectivity verdict may not have been reached). Also
+// audits every recorded upper bound against the true eccentricities while
+// the distances are at hand — Eliminate records are proven when written,
+// so the audit applies to early exits too.
+func (s *solver) checkFinal(infinite, cancelled, early bool) {
+	if cancelled || len(s.ecc) == 0 || len(s.ecc) > checkedDiffMaxN {
 		return
 	}
 	ref := baseline.Naive(s.g, baseline.Options{Workers: 1})
-	if ref.Diameter != s.bound {
+	if early {
+		if ref.Diameter < s.bound || (s.ubCap >= 0 && ref.Diameter > s.ubCap) {
+			violate("anytime-corridor",
+				"early-exit corridor [%d, %d] does not contain naive baseline %d",
+				s.bound, s.ubCap, ref.Diameter)
+		}
+	} else if ref.Diameter != s.bound {
 		violate("diameter-differential",
 			"F-Diam bound %d != naive baseline %d", s.bound, ref.Diameter)
 	}

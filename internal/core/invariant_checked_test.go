@@ -186,6 +186,6 @@ func TestInvariantViolationsFire(t *testing.T) {
 			}
 		}()
 		s.bound++ // a wrong final answer
-		s.checkFinal(res.Infinite, false)
+		s.checkFinal(res.Infinite, false, false)
 	})
 }

@@ -28,4 +28,4 @@ func (s *solver) checkComputeTarget(v graph.Vertex) {}
 
 func (s *solver) checkStateConsistency(where string) {}
 
-func (s *solver) checkFinal(infinite, timedOut bool) {}
+func (s *solver) checkFinal(infinite, cancelled, early bool) {}

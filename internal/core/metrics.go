@@ -8,3 +8,17 @@ import "fdiam/internal/obs"
 // every histogram (see obs.Registry.ArmHistograms).
 var hBatchSources = obs.Default().Histogram("fdiam_msbfs_batch_sources",
 	"sources per bit-parallel MS-BFS batch", obs.SizeOpts(6))
+
+// Anytime-tier accounting: how often runs stop early with an open corridor
+// and how wide the corridor was when they did, split by exit mode. Counters
+// are always live; the histograms are disarmed by default like every other
+// (obs.Registry.ArmHistograms). Cancelled runs are not counted here — they
+// did not choose to stop.
+var (
+	cEarlyExits = obs.Default().Counter("fdiam_early_exits_total",
+		"solver runs stopped by an anytime tier (ε-early-exit or approximation mode)")
+	hEarlyGapEpsilon = obs.Default().HistogramLabels("fdiam_early_exit_gap",
+		"ub − lb corridor width at early exit", obs.SizeOpts(8), "mode", "epsilon")
+	hEarlyGapApprox = obs.Default().HistogramLabels("fdiam_early_exit_gap",
+		"ub − lb corridor width at early exit", obs.SizeOpts(8), "mode", "approx")
+)

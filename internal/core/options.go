@@ -70,6 +70,23 @@ type Options struct {
 	// zero value disables both.
 	Checkpoint CheckpointOptions
 
+	// Epsilon enables the anytime early exit: when positive, the solver
+	// stops as soon as the proven corridor satisfies ub − lb ≤ Epsilon and
+	// reports it through Result.Diameter/Upper/Gap with Approximate set
+	// (unless the corridor collapsed to gap 0, which is an exact answer).
+	// Zero solves exactly — except that a resumed run (Checkpoint.
+	// ResumeFrom) adopts the ε recorded in the snapshot, so refinement
+	// chains keep the tolerance the original caller asked for. A negative
+	// value forces an exact solve even on resume. The ε-stop writes a
+	// checkpoint (when a Dir is configured) so a later exact or tighter-ε
+	// run resumes from the stopping point instead of starting over.
+	Epsilon int32
+
+	// Approx configures sampled approximation mode: a budgeted
+	// multi-double-sweep estimator that returns a sound [lb, ub] corridor
+	// without entering the main loop. The zero value disables it.
+	Approx ApproxOptions
+
 	// Timeout aborts the computation after the given wall-clock duration.
 	// Zero means no limit. It is implemented as a context.WithTimeout
 	// layered on the caller's context (DiameterCtx) and enforced at every
@@ -126,6 +143,26 @@ type BatchOptions struct {
 	// the distance row. Worth it when eliminate radii are large (the
 	// scan is O(n) regardless of the ball size); off by default.
 	Rows bool
+}
+
+// ApproxOptions configures the sampled approximation mode: Sweeps double
+// sweeps — the first from the maximum-degree vertex, the rest from
+// deterministically sampled random non-isolated vertices — each raising the
+// lower bound via raiseLB and capping the upper bound via the triangle
+// inequality (ub ≤ min(2·ecc(src), n−1) on connected graphs). The corridor
+// is sound by construction; it is exact only when it happens to collapse.
+// Approximation mode skips Winnow, Chain Processing and the main loop, and
+// ignores checkpointing (a run this short has nothing worth resuming).
+type ApproxOptions struct {
+	// Sweeps is the number of double sweeps (two BFS each, the second from
+	// the farthest vertex the first one found). Positive values enable
+	// approximation mode; the estimator stops early if the corridor
+	// collapses to gap ≤ max(Epsilon, 0).
+	Sweeps int
+
+	// Seed seeds the deterministic source sampler for sweeps after the
+	// first. Two runs with equal Seed and Sweeps pick identical sources.
+	Seed uint64
 }
 
 // CheckpointOptions configures crash-safe checkpointing of a solve.

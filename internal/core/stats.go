@@ -145,6 +145,22 @@ type Result struct {
 	// solve, so the result is still exact.
 	Resumed     bool   `json:"resumed"`
 	ResumeError string `json:"resume_error,omitempty"`
+	// Upper is the best proven diameter upper bound at exit — the other
+	// edge of the anytime corridor [Diameter, Upper]. An exact completed
+	// run reports Upper == Diameter; an ε-stopped, approximate, or
+	// cancelled run reports the tightest cap established (n−1 at worst
+	// once any traversal ran). The truth always satisfies
+	// Diameter ≤ true ≤ Upper, where "true" is the largest
+	// component-internal eccentricity (the CC diameter) — for connected
+	// graphs, the graph diameter itself.
+	Upper int32 `json:"upper"`
+	// Gap is Upper − Diameter: 0 exactly when the answer is exact.
+	Gap int32 `json:"gap"`
+	// Approximate reports that the run ended with an open corridor
+	// (Gap > 0) — because of Options.Epsilon, approximation mode, or
+	// cancellation. An ε or approx run whose corridor collapsed to gap 0
+	// proved the exact answer and reports Approximate=false.
+	Approximate bool `json:"approximate"`
 	// WitnessA and WitnessB are a vertex pair realizing the diameter:
 	// ecc(WitnessA) = Diameter and d(WitnessA, WitnessB) = Diameter.
 	// Both are NoVertex (MaxUint32) only for graphs with no edges.

@@ -1,6 +1,8 @@
 package ecc
 
 import (
+	"context"
+
 	"fdiam/internal/bfs"
 	"fdiam/internal/bitset"
 	"fdiam/internal/graph"
@@ -14,6 +16,11 @@ type AllResult struct {
 	// BFSTraversals counts the full BFS calls performed; the point of
 	// the bounding algorithm is that this stays far below n.
 	BFSTraversals int64
+	// Truncated reports that the context was cancelled before every
+	// vertex resolved. The Eccs of unresolved vertices then hold their
+	// best-known lower bounds (sound: the triangle-inequality bounds only
+	// ever tighten), not exact eccentricities.
+	Truncated bool
 }
 
 // BoundedAll computes the exact eccentricity of every vertex with the
@@ -26,7 +33,11 @@ type AllResult struct {
 // natural companion to F-Diam when the full eccentricity distribution
 // (center, periphery, per-vertex closeness) is wanted rather than just the
 // diameter.
-func BoundedAll(g *graph.Graph, workers int) AllResult {
+//
+// Cancelling ctx stops the computation at the next traversal boundary; the
+// result then carries Truncated=true with lower bounds in place of the
+// unresolved eccentricities.
+func BoundedAll(ctx context.Context, g *graph.Graph, workers int) AllResult {
 	n := g.NumVertices()
 	res := AllResult{Eccs: make([]int32, n)}
 	if n == 0 {
@@ -49,6 +60,14 @@ func BoundedAll(g *graph.Graph, workers int) AllResult {
 
 	pickHigh := true
 	for remaining > 0 {
+		if ctx.Err() != nil {
+			// Cancelled: report the surviving lower bounds — valid
+			// (if loose) eccentricity statements — instead of hanging on
+			// for up to n more traversals.
+			unresolved.ForEach(func(v int) { res.Eccs[v] = lo[v] })
+			res.Truncated = true
+			return res
+		}
 		// Select the next source among unresolved vertices.
 		sel := -1
 		unresolved.ForEach(func(v int) {
@@ -111,29 +130,11 @@ func max32(a, b int32) int32 {
 
 // FastInfo computes Info (diameter, radius, center, periphery, all
 // eccentricities) using BoundedAll instead of brute force — typically a few
-// dozen BFS traversals instead of n.
-func FastInfo(g *graph.Graph, workers int) Info {
-	all := BoundedAll(g, workers)
-	info := Info{Eccs: all.Eccs}
-	if len(all.Eccs) == 0 {
-		return info
-	}
-	info.Radius = all.Eccs[0]
-	for _, e := range all.Eccs {
-		if e > info.Diameter {
-			info.Diameter = e
-		}
-		if e < info.Radius {
-			info.Radius = e
-		}
-	}
-	for v, e := range all.Eccs {
-		if e == info.Diameter {
-			info.Periphery = append(info.Periphery, graph.Vertex(v))
-		}
-		if e == info.Radius {
-			info.Center = append(info.Center, graph.Vertex(v))
-		}
-	}
-	return info
+// dozen BFS traversals instead of n. The radius/center/periphery aggregates
+// are restricted to the largest connected component (see Info); a cancelled
+// ctx yields the aggregates of whatever bounds were established, which are
+// not exact — callers that care should use BoundedAll directly and check
+// Truncated.
+func FastInfo(ctx context.Context, g *graph.Graph, workers int) Info {
+	return infoFromEccs(g, BoundedAll(ctx, g, workers).Eccs)
 }

@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -12,7 +13,7 @@ func checkBoundedAll(t *testing.T, name string, g *graph.Graph) {
 	t.Helper()
 	want := All(g, 0)
 	for _, workers := range []int{1, 4} {
-		got := BoundedAll(g, workers)
+		got := BoundedAll(context.Background(), g, workers)
 		for v := range want {
 			if got.Eccs[v] != want[v] {
 				t.Errorf("%s (workers=%d): ecc(%d) = %d, want %d",
@@ -68,7 +69,7 @@ func TestBoundedAllIsFrugalOnCorePeriphery(t *testing.T) {
 	// must have its bounds meet, so the savings are a constant factor
 	// (Takes & Kosters report similar ratios), not orders of magnitude.
 	g := gen.CoreWhiskers(8000, 6, 0.15, 9, 7)
-	res := BoundedAll(g, 0)
+	res := BoundedAll(context.Background(), g, 0)
 	if res.BFSTraversals > int64(g.NumVertices())/2 {
 		t.Errorf("BoundedAll used %d traversals on %d vertices — bounds are not pruning",
 			res.BFSTraversals, g.NumVertices())
@@ -79,7 +80,7 @@ func TestFastInfoMatchesCompute(t *testing.T) {
 	for seed := uint64(0); seed < 6; seed++ {
 		g := gen.RandomConnected(120, int(seed*31)%120, seed+60)
 		slow := Compute(g, 0)
-		fast := FastInfo(g, 0)
+		fast := FastInfo(context.Background(), g, 0)
 		if slow.Diameter != fast.Diameter || slow.Radius != fast.Radius {
 			t.Fatalf("seed %d: (diam,radius) fast (%d,%d) vs slow (%d,%d)",
 				seed, fast.Diameter, fast.Radius, slow.Diameter, slow.Radius)
@@ -101,7 +102,7 @@ func TestFastInfoMatchesCompute(t *testing.T) {
 }
 
 func TestFastInfoEmpty(t *testing.T) {
-	info := FastInfo(graph.NewBuilder(0).Build(), 0)
+	info := FastInfo(context.Background(), graph.NewBuilder(0).Build(), 0)
 	if info.Diameter != 0 || info.Radius != 0 || info.Center != nil {
 		t.Fatalf("empty FastInfo: %+v", info)
 	}
@@ -163,7 +164,7 @@ func BenchmarkBoundedAll(b *testing.B) {
 	g := gen.CoreWhiskers(1<<13, 6, 0.15, 9, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BoundedAll(g, 0)
+		BoundedAll(context.Background(), g, 0)
 	}
 }
 
@@ -172,5 +173,87 @@ func BenchmarkBruteForceAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		All(g, 0)
+	}
+}
+
+// Regression: an isolated vertex (eccentricity 0) must not pollute the
+// radius/center/periphery aggregates — before the largest-component
+// restriction, any stray vertex reported Radius=0 with itself as the
+// "center" of the graph.
+func TestInfoAggregatesIgnoreIsolatedVertex(t *testing.T) {
+	// Path 0–4 (diameter 4, radius 2, center {2}) plus isolated vertex 5.
+	g := gen.Disjoint(gen.Path(5), graph.NewBuilder(1).Build())
+	for name, info := range map[string]Info{
+		"Compute":  Compute(g, 1),
+		"FastInfo": FastInfo(context.Background(), g, 1),
+	} {
+		if info.Diameter != 4 {
+			t.Errorf("%s: diameter = %d, want 4", name, info.Diameter)
+		}
+		if info.Radius != 2 {
+			t.Errorf("%s: radius = %d, want 2 (isolated vertex polluted the aggregate)", name, info.Radius)
+		}
+		if len(info.Center) != 1 || info.Center[0] != 2 {
+			t.Errorf("%s: center = %v, want [2]", name, info.Center)
+		}
+		if len(info.Periphery) != 2 || info.Periphery[0] != 0 || info.Periphery[1] != 4 {
+			t.Errorf("%s: periphery = %v, want [0 4]", name, info.Periphery)
+		}
+		if info.Eccs[5] != 0 {
+			t.Errorf("%s: isolated vertex ecc = %d, want 0 (still reported in Eccs)", name, info.Eccs[5])
+		}
+	}
+}
+
+// Regression: a small secondary component must be excluded from the
+// aggregates the same way an isolated vertex is.
+func TestInfoAggregatesUseLargestComponent(t *testing.T) {
+	// Path on 9 vertices (radius 4, center {4}) plus a 3-path whose middle
+	// vertex has eccentricity 1 < 4.
+	g := gen.Disjoint(gen.Path(9), gen.Path(3))
+	for name, info := range map[string]Info{
+		"Compute":  Compute(g, 1),
+		"FastInfo": FastInfo(context.Background(), g, 1),
+	} {
+		if info.Diameter != 8 {
+			t.Errorf("%s: diameter = %d, want 8", name, info.Diameter)
+		}
+		if info.Radius != 4 {
+			t.Errorf("%s: radius = %d, want 4 (secondary component polluted the aggregate)", name, info.Radius)
+		}
+		if len(info.Center) != 1 || info.Center[0] != 4 {
+			t.Errorf("%s: center = %v, want [4]", name, info.Center)
+		}
+	}
+}
+
+// Regression: BoundedAll used to be uncancellable. A cancelled context must
+// stop it at a traversal boundary, with the unresolved entries reported as
+// valid lower bounds and the result marked Truncated.
+func TestBoundedAllCancelled(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	want := All(g, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := BoundedAll(ctx, g, 1)
+	if !res.Truncated {
+		t.Fatal("cancelled BoundedAll did not report Truncated")
+	}
+	if res.BFSTraversals != 0 {
+		t.Fatalf("pre-cancelled run performed %d traversals", res.BFSTraversals)
+	}
+	if len(res.Eccs) != g.NumVertices() {
+		t.Fatalf("Eccs length %d, want %d", len(res.Eccs), g.NumVertices())
+	}
+	for v := range res.Eccs {
+		if res.Eccs[v] > want[v] {
+			t.Fatalf("truncated ecc(%d) = %d exceeds true eccentricity %d — not a lower bound",
+				v, res.Eccs[v], want[v])
+		}
+	}
+	// An uncancelled context still resolves exactly.
+	full := BoundedAll(context.Background(), g, 1)
+	if full.Truncated {
+		t.Fatal("uncancelled run reported Truncated")
 	}
 }

@@ -17,6 +17,8 @@ import (
 // parallelized over sources. Isolated vertices have eccentricity 0;
 // eccentricities are per connected component (BFS semantics). O(nm) — use
 // only on small graphs or as ground truth.
+//
+//fdiamlint:ignore ctxflow brute-force ground truth; kept ctx-less so oracle call sites stay uncluttered
 func All(g *graph.Graph, workers int) []int32 {
 	n := g.NumVertices()
 	out := make([]int32, n)
@@ -42,48 +44,85 @@ type Info struct {
 	// Diameter is the largest eccentricity over all components (the
 	// paper's "CC diameter").
 	Diameter int32
-	// Radius is the smallest eccentricity over all vertices. For a
-	// connected graph this is the graph radius; on disconnected inputs
-	// it is per-component (an isolated vertex yields 0).
+	// Radius is the smallest eccentricity within the largest connected
+	// component — the graph radius for connected inputs. Secondary
+	// components (isolated vertices included) report their eccentricities
+	// in Eccs but are excluded from the radius/center/periphery
+	// aggregates: mixing per-component minima produced a bogus Radius=0
+	// with an isolated-vertex "center" on any graph with a stray vertex.
 	Radius int32
-	// Center lists the vertices attaining Radius.
+	// Center lists the largest component's vertices attaining Radius.
 	Center []graph.Vertex
-	// Periphery lists the vertices attaining Diameter.
+	// Periphery lists the largest component's vertices attaining its
+	// internal diameter (which equals Diameter whenever the largest
+	// component is also the widest one — always, for connected graphs).
 	Periphery []graph.Vertex
-	// Eccs holds the per-vertex eccentricities.
+	// Eccs holds the per-vertex eccentricities, every component included.
 	Eccs []int32
 }
 
 // Compute derives Info from a graph using the brute-force method.
+// Cancellable callers use FastInfo, which threads a context.
+//
+//fdiamlint:ignore ctxflow brute-force ground truth; cancellable path is FastInfo
 func Compute(g *graph.Graph, workers int) Info {
-	eccs := All(g, workers)
-	info := Info{Eccs: eccs, Radius: math.MaxInt32}
+	return infoFromEccs(g, All(g, workers))
+}
+
+// infoFromEccs assembles the Info aggregates from per-vertex
+// eccentricities: the diameter stays the global maximum (the CC-diameter
+// convention shared with core), while radius, center and periphery are
+// restricted to the largest connected component (ties broken toward the
+// lowest component id, which is deterministic because components are
+// discovered in vertex order).
+func infoFromEccs(g *graph.Graph, eccs []int32) Info {
+	info := Info{Eccs: eccs}
+	if len(eccs) == 0 {
+		return info
+	}
 	for _, e := range eccs {
 		if e > info.Diameter {
 			info.Diameter = e
 		}
 	}
+	cc := graph.ConnectedComponents(g)
+	largest := int32(0)
+	for id, sz := range cc.Sizes {
+		if sz > cc.Sizes[largest] {
+			largest = int32(id)
+		}
+	}
+	info.Radius = math.MaxInt32
+	var lcDiam int32
 	for v, e := range eccs {
-		if e == info.Diameter {
-			info.Periphery = append(info.Periphery, graph.Vertex(v))
+		if cc.ID[v] != largest {
+			continue
 		}
 		if e < info.Radius {
 			info.Radius = e
 		}
+		if e > lcDiam {
+			lcDiam = e
+		}
 	}
 	for v, e := range eccs {
+		if cc.ID[v] != largest {
+			continue
+		}
 		if e == info.Radius {
 			info.Center = append(info.Center, graph.Vertex(v))
 		}
-	}
-	if len(eccs) == 0 {
-		info.Radius = 0
+		if e == lcDiam {
+			info.Periphery = append(info.Periphery, graph.Vertex(v))
+		}
 	}
 	return info
 }
 
 // Diameter returns the brute-force diameter (largest eccentricity over all
 // components). Ground truth for tests.
+//
+//fdiamlint:ignore ctxflow brute-force ground truth; kept ctx-less so oracle call sites stay uncluttered
 func Diameter(g *graph.Graph, workers int) int32 {
 	var d int32
 	for _, e := range All(g, workers) {

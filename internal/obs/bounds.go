@@ -80,6 +80,20 @@ func (r *Run) SubscribeBounds(buf int) (<-chan BoundEvent, func()) {
 	return ch, cancel
 }
 
+// HasBounds reports whether the run has published at least one corridor
+// event. Until then the progress snapshot's Bound/Upper are zero values, not
+// bounds — a zero-valued corridor read as lb == ub == 0 would claim a
+// collapsed exact answer that was never proven. Nil-safe.
+func (r *Run) HasBounds() bool {
+	if r == nil {
+		return false
+	}
+	b := &r.bounds
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen
+}
+
 // PublishBounds fans a corridor tightening out to every subscriber and
 // records it in the progress snapshot (ub < 0 means "no upper bound yet").
 // Nil-safe; with no subscribers it is two atomic stores and a mutex

@@ -30,6 +30,7 @@ const (
 	KeyGraphHash = "graph_hash"
 	KeyVertices  = "vertices"
 	KeyDiameter  = "diameter"
+	KeyGap       = "gap"
 	KeyError     = "error"
 	KeyPanic     = "panic"
 	KeyAddr      = "addr"

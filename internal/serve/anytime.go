@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+)
+
+// Anytime request parameters: `?epsilon=N` stops the solve once the proven
+// corridor satisfies ub − lb ≤ N, and `?mode=approx[&sweeps=K]` runs the
+// budgeted double-sweep estimator instead of the main loop. Both return a
+// sound corridor — the response's `diameter` is the proven lower bound,
+// `upper` the proven upper bound, and `approximate` is set whenever the two
+// differ.
+const (
+	// maxEpsilon clamps absurd tolerances; any ε this large stops the
+	// solve at the first established corridor anyway.
+	maxEpsilon = 1 << 30
+	// defaultApproxSweeps is the double-sweep budget when ?mode=approx
+	// does not pass sweeps=.
+	defaultApproxSweeps = 4
+	// maxApproxSweeps bounds the per-request estimator budget: beyond
+	// this an exact solve is usually the better spend.
+	maxApproxSweeps = 64
+)
+
+// anytime carries one request's early-termination parameters. The zero
+// value is a plain exact request.
+type anytime struct {
+	epsilon int32 // requested tolerance; 0 = none
+	approx  bool  // ?mode=approx
+	sweeps  int   // double-sweep budget (approx only)
+}
+
+// parseAnytime validates ?epsilon=, ?mode= and ?sweeps=. Garbage and
+// out-of-range values are request errors (the caller turns them into 400s);
+// an oversized ε is clamped rather than rejected.
+func parseAnytime(q url.Values) (anytime, error) {
+	var a anytime
+	if v := q.Get("epsilon"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return a, fmt.Errorf("epsilon: %v", err)
+		}
+		if n < 0 {
+			return a, fmt.Errorf("epsilon: negative tolerance %d", n)
+		}
+		if n > maxEpsilon {
+			n = maxEpsilon
+		}
+		a.epsilon = int32(n)
+	}
+	switch mode := q.Get("mode"); mode {
+	case "", "exact":
+	case "approx":
+		a.approx = true
+		a.sweeps = defaultApproxSweeps
+		if v := q.Get("sweeps"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return a, fmt.Errorf("sweeps: %v", err)
+			}
+			if n < 1 || n > maxApproxSweeps {
+				return a, fmt.Errorf("sweeps: %d outside [1, %d]", n, maxApproxSweeps)
+			}
+			a.sweeps = n
+		}
+	default:
+		return a, fmt.Errorf("mode: unknown mode %q (only \"approx\")", mode)
+	}
+	return a, nil
+}
+
+// enabled reports whether the request asked for any anytime tier.
+func (a anytime) enabled() bool { return a.epsilon > 0 || a.approx }
+
+// mode returns the mode string echoed in the response ("" for exact).
+func (a anytime) mode() string {
+	if a.approx {
+		return "approx"
+	}
+	return ""
+}
+
+// cacheKey is the result-cache storage key for an approximate outcome of
+// this request. The bare content key is the exact-diameter promise, so an
+// approximate result is qualified by everything that shaped its corridor;
+// a request with the same parameters hits it, a plain exact request can
+// never be served from it.
+func (a anytime) cacheKey(key string) string {
+	if a.approx {
+		return fmt.Sprintf("%s?approx=%d&eps=%d", key, a.sweeps, a.epsilon)
+	}
+	return fmt.Sprintf("%s?eps=%d", key, a.epsilon)
+}
+
+// solverEpsilon maps the request tolerance onto core.Options.Epsilon. The
+// daemon is always explicit: a request without ε forces an exact solve
+// (core's 0 would adopt a tolerance recorded in a resumed snapshot, and a
+// client that asked /diameter plain must get the exact answer).
+func (a anytime) solverEpsilon() int32 {
+	if a.epsilon > 0 {
+		return a.epsilon
+	}
+	return -1
+}

@@ -112,7 +112,22 @@ func (c *resultCache) get(key string) (core.Result, bool) {
 	return el.Value.(*resultEntry).res, true
 }
 
+// add stores a completed exact result under the graph's bare content key.
+// Approximate results are refused here — the bare key promises the exact
+// diameter, and serving an open corridor from it would be a silent
+// downgrade; anytime outcomes go through addAnytime under a
+// parameter-qualified key instead.
 func (c *resultCache) add(key string, res core.Result) {
+	if res.Approximate {
+		return
+	}
+	c.addAnytime(key, res)
+}
+
+// addAnytime stores res under key with only the per-request-outcome guard:
+// cancelled and timed-out results are properties of one request's deadline,
+// not of the graph, and are never cached under any key.
+func (c *resultCache) addAnytime(key string, res core.Result) {
 	if res.Cancelled || res.TimedOut {
 		return
 	}

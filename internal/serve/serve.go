@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -273,11 +274,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // consumers need not know the internal NoVertex sentinel; the cache
 // fields let clients and tests observe which layers were hit.
 type response struct {
-	Diameter       int32  `json:"diameter"`
-	Infinite       bool   `json:"infinite"`
-	TimedOut       bool   `json:"timed_out"`
-	Cancelled      bool   `json:"cancelled"`
-	Resumed        bool   `json:"resumed,omitempty"`
+	Diameter  int32 `json:"diameter"`
+	Infinite  bool  `json:"infinite"`
+	TimedOut  bool  `json:"timed_out"`
+	Cancelled bool  `json:"cancelled"`
+	Resumed   bool  `json:"resumed,omitempty"`
+	// Upper is the best proven upper bound at exit; Diameter is the best
+	// proven lower bound, and Approximate is set whenever the corridor did
+	// not collapse (ε-early-exit or ?mode=approx with a residual gap).
+	Upper       int32 `json:"upper"`
+	Gap         int32 `json:"gap"`
+	Approximate bool  `json:"approximate"`
+	// Epsilon and Mode echo the request's anytime parameters.
+	Epsilon        int32  `json:"epsilon,omitempty"`
+	Mode           string `json:"mode,omitempty"`
 	WitnessA       int64  `json:"witness_a"`
 	WitnessB       int64  `json:"witness_b"`
 	ElapsedNS      int64  `json:"elapsed_ns"`
@@ -314,6 +324,11 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wantTrace := q.Get("trace") == "1"
+	at, err := parseAnytime(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 
 	timeout, err := s.requestTimeout(r)
 	if err != nil {
@@ -332,15 +347,29 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	key := hex.EncodeToString(sum[:])
 
 	// Result cache first: a finished diameter is a pure function of the
-	// graph content, so repeat requests skip admission entirely.
+	// graph content, so repeat requests skip admission entirely. An exact
+	// entry under the bare key satisfies every request (its gap is 0 ≤ any
+	// ε); an anytime request additionally accepts an approximate entry
+	// cached under its own parameter-qualified key.
 	if res, ok := s.results.get(key); ok {
 		s.mResultHits.Inc()
 		if streamBounds {
-			s.streamCached(w, r, key, res)
+			s.streamCached(w, r, key, res, at)
 			return
 		}
-		s.writeResult(w, r, key, res, 0, true, true, nil)
+		s.writeResult(w, r, key, res, 0, true, true, nil, at)
 		return
+	}
+	if at.enabled() {
+		if res, ok := s.results.get(at.cacheKey(key)); ok {
+			s.mResultHits.Inc()
+			if streamBounds {
+				s.streamCached(w, r, key, res, at)
+				return
+			}
+			s.writeResult(w, r, key, res, 0, true, true, nil, at)
+			return
+		}
 	}
 
 	g, hit := s.graphs.get(key)
@@ -410,7 +439,14 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		}
 		run = obs.NewRun(runCfg)
 	}
-	opt := core.Options{Workers: s.cfg.Workers, Timeout: timeout, Checkpoint: ck, Trace: run}
+	opt := core.Options{Workers: s.cfg.Workers, Timeout: timeout, Checkpoint: ck, Trace: run,
+		Epsilon: at.solverEpsilon()}
+	if at.approx {
+		// The estimator's sampling seed derives from the graph's content
+		// hash: the same graph with the same budget produces the same
+		// corridor on every request, matching the cache's promise.
+		opt.Approx = core.ApproxOptions{Sweeps: at.sweeps, Seed: binary.BigEndian.Uint64(sum[:8])}
+	}
 
 	s.gInflight.Add(1)
 	start := time.Now()
@@ -419,7 +455,7 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 			return core.DiameterCtx(ctx, g, opt)
 		}}
 		resp := func(res core.Result) response {
-			out := s.buildResponse(r, key, res, time.Since(start), hit, false)
+			out := s.buildResponse(r, key, res, time.Since(start), hit, false, at)
 			if traceBuf != nil {
 				out.Trace = json.RawMessage(traceBuf.Bytes())
 			}
@@ -427,7 +463,7 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		}
 		res, _ := s.streamSolve(ctx, w, run, sg, resp)
 		s.gInflight.Add(-1)
-		s.publishOutcome(key, g, hit, res)
+		s.publishOutcome(key, g, hit, res, at)
 		return
 	}
 	res := core.DiameterCtx(ctx, g, opt)
@@ -436,15 +472,15 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	s.gInflight.Add(-1)
-	s.publishOutcome(key, g, hit, res)
-	s.writeResult(w, r, key, res, elapsed, hit, false, traceBuf)
+	s.publishOutcome(key, g, hit, res, at)
+	s.writeResult(w, r, key, res, elapsed, hit, false, traceBuf, at)
 }
 
 // publishOutcome settles a finished solve into the caches and counters: a
 // cancelled run leaves its checkpoint directory for resume, a completed one
 // publishes to both caches (unless the injected cache-write fault drops the
 // publication) and retires its checkpoint directory.
-func (s *Server) publishOutcome(key string, g *graph.Graph, graphHit bool, res core.Result) {
+func (s *Server) publishOutcome(key string, g *graph.Graph, graphHit bool, res core.Result, at anytime) {
 	if res.Cancelled {
 		// A cancelled checkpointed solve deliberately leaves its directory
 		// behind: the snapshot inside is exactly what ResumeOrphans (or a
@@ -466,7 +502,21 @@ func (s *Server) publishOutcome(key string, g *graph.Graph, graphHit bool, res c
 			s.graphs.add(key, g)
 			s.gGraphBytes.Set(s.graphs.bytes())
 		}
-		s.results.add(key, res)
+		if res.Approximate {
+			// An open corridor is cached only under its parameter-qualified
+			// key: the bare content key is the exact-diameter promise, and
+			// an approximate entry must never be served against it.
+			s.results.addAnytime(at.cacheKey(key), res)
+		} else {
+			s.results.add(key, res)
+		}
+	}
+	if res.Approximate && !res.TimedOut {
+		// An ε-stopped solve left a positioned snapshot behind; a later
+		// exact (or tighter-ε) request for the same graph resumes from it
+		// instead of restarting. Timed-out runs keep the pre-existing
+		// retirement behavior.
+		return
 	}
 	s.clearCheckpointDir(key)
 }
@@ -700,7 +750,10 @@ func (s *Server) resumeOrphan(ctx context.Context, key string) bool {
 	defer context.AfterFunc(ctx, cancel)()
 
 	s.gInflight.Add(1)
-	res := core.DiameterCtx(solveCtx, g, core.Options{Workers: s.cfg.Workers, Checkpoint: ck})
+	// Epsilon -1 finishes the orphan exactly: a snapshot left by an
+	// ε-stopped request must not re-stop at its recorded tolerance and
+	// launder an approximate corridor into the bare-key result cache.
+	res := core.DiameterCtx(solveCtx, g, core.Options{Workers: s.cfg.Workers, Checkpoint: ck, Epsilon: -1})
 	s.gInflight.Add(-1)
 
 	if res.Cancelled {
@@ -717,7 +770,7 @@ func (s *Server) resumeOrphan(ctx context.Context, key string) bool {
 	return true
 }
 
-func (s *Server) buildResponse(r *http.Request, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool) response {
+func (s *Server) buildResponse(r *http.Request, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool, at anytime) response {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
 			return -1
@@ -731,6 +784,11 @@ func (s *Server) buildResponse(r *http.Request, key string, res core.Result, ela
 		TimedOut:       res.TimedOut,
 		Cancelled:      res.Cancelled,
 		Resumed:        res.Resumed,
+		Upper:          res.Upper,
+		Gap:            res.Gap,
+		Approximate:    res.Approximate,
+		Epsilon:        at.epsilon,
+		Mode:           at.mode(),
 		WitnessA:       witness(res.WitnessA),
 		WitnessB:       witness(res.WitnessB),
 		ElapsedNS:      elapsed.Nanoseconds(),
@@ -743,8 +801,8 @@ func (s *Server) buildResponse(r *http.Request, key string, res core.Result, ela
 }
 
 func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, key string, res core.Result,
-	elapsed time.Duration, graphHit, resultHit bool, traceBuf *bytes.Buffer) {
-	resp := s.buildResponse(r, key, res, elapsed, graphHit, resultHit)
+	elapsed time.Duration, graphHit, resultHit bool, traceBuf *bytes.Buffer, at anytime) {
+	resp := s.buildResponse(r, key, res, elapsed, graphHit, resultHit, at)
 	if traceBuf != nil {
 		resp.Trace = json.RawMessage(traceBuf.Bytes())
 	}

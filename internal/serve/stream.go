@@ -87,9 +87,14 @@ func (s *Server) handleProgressStream(w http.ResponseWriter, r *http.Request) {
 	var followed *obs.Run
 	if run := obs.Current(); run != nil {
 		// Immediate corridor on connect: a client (or the CI smoke)
-		// attaching after a solve still sees where the bound stands.
-		if writeSSE(w, fl, sseEventBound, snapshotBound(run.Snapshot())) != nil {
-			return
+		// attaching after a solve still sees where the bound stands. Only
+		// when a bound actually exists — before the first publication the
+		// snapshot holds zero values, and emitting them would read as a
+		// collapsed lb == ub == 0 exact answer under the protocol.
+		if run.HasBounds() {
+			if writeSSE(w, fl, sseEventBound, snapshotBound(run.Snapshot())) != nil {
+				return
+			}
 		}
 		if run.Snapshot().State == "done" {
 			followed = run // only re-follow once a *new* run appears
@@ -180,11 +185,12 @@ func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter,
 	return res, true
 }
 
-// streamCached serves a result-cache hit in streaming form: the corridor is
-// already collapsed, so one bound event with lb == ub == diameter precedes
-// the terminal result event. Clients thus see the same protocol shape
-// whether or not the solve actually ran.
-func (s *Server) streamCached(w http.ResponseWriter, r *http.Request, key string, res core.Result) {
+// streamCached serves a result-cache hit in streaming form: one bound event
+// carrying the entry's final corridor precedes the terminal result event,
+// so clients see the same protocol shape whether or not the solve actually
+// ran. For an exact entry the corridor is collapsed (lb == ub == diameter);
+// an approximate entry keeps its honest open corridor [diameter, upper].
+func (s *Server) streamCached(w http.ResponseWriter, r *http.Request, key string, res core.Result, at anytime) {
 	fl, ok := sseStart(w)
 	if !ok {
 		return
@@ -196,10 +202,10 @@ func (s *Server) streamCached(w http.ResponseWriter, r *http.Request, key string
 		return int64(v)
 	}
 	_ = writeSSE(w, fl, sseEventBound, obs.BoundEvent{
-		LB: int64(res.Diameter), UB: int64(res.Diameter),
+		LB: int64(res.Diameter), UB: int64(res.Upper),
 		WitnessA: witness(res.WitnessA), WitnessB: witness(res.WitnessB),
 	})
-	_ = writeSSE(w, fl, sseEventResult, s.buildResponse(r, key, res, 0, true, true))
+	_ = writeSSE(w, fl, sseEventResult, s.buildResponse(r, key, res, 0, true, true, at))
 }
 
 // solveGraph packages the one-shot solve closure handed to streamSolve so

@@ -282,3 +282,45 @@ func TestProgressStreamClosesOnClientDisconnect(t *testing.T) {
 		t.Fatal("stream read did not end after cancel")
 	}
 }
+
+// Regression: connecting to /progress/stream while a run exists but has not
+// yet published a corridor used to emit the zero-valued snapshot as a bound
+// event — lb=0, ub=0, which the protocol defines as a collapsed exact
+// diameter of 0. The on-connect emit must wait for a real bound.
+func TestProgressStreamNoZeroCorridorBeforeFirstBound(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	prev := obs.Current()
+	run := obs.NewRun(obs.Config{})
+	t.Cleanup(func() {
+		_ = run.Finish()
+		obs.SetCurrent(prev)
+	})
+
+	stream, err := ts.Client().Get(ts.URL + "/progress/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	// First publication lands after the handler has connected (and, before
+	// the fix, already emitted the bogus zero corridor). Replay-on-subscribe
+	// makes the schedule race-free: whichever side wins, the first bound
+	// event a correct server sends is [5, 10].
+	time.AfterFunc(300*time.Millisecond, func() { run.PublishBounds(5, 10, 0, 4) })
+
+	for i := 0; i < 5; i++ {
+		events := readSSE(t, stream.Body, 1)
+		if len(events) == 0 {
+			t.Fatal("stream ended before a bound event arrived")
+		}
+		if events[0].name != sseEventBound {
+			continue // periodic progress snapshots may interleave
+		}
+		b := decodeBound(t, events[0])
+		if b.LB != 5 || b.UB != 10 {
+			t.Fatalf("first bound event [%d,%d], want [5,10] (zero-corridor emitted before first publication?)", b.LB, b.UB)
+		}
+		return
+	}
+	t.Fatal("no bound event within 5 stream events")
+}
