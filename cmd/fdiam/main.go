@@ -33,6 +33,17 @@
 // honoring it; resume with -epsilon -1 to force an exact finish). -approx K
 // skips the main loop entirely and builds the corridor from K double
 // sweeps.
+//
+// Exit codes distinguish how a run ended, so scripts and batch drivers can
+// branch without parsing output:
+//
+//	0  the solve finished (exact or approximate as requested)
+//	1  usage, input or I/O error — nothing was solved
+//	3  the solve was cancelled (Ctrl-C); the best lower bound was reported
+//	4  the solve hit -timeout; the best lower bound was reported
+//
+// -faults=list prints every registered fault-injection point and exits;
+// any other value arms the spec (overriding FDIAM_FAULTS) for chaos runs.
 package main
 
 import (
@@ -58,14 +69,27 @@ import (
 	"fdiam/internal/stats"
 )
 
+// Exit codes (documented in the package comment above).
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitCancelled = 3
+	exitTimedOut  = 4
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdiam:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one CLI invocation and returns the process exit code. A
+// non-nil error always pairs with exitError; cancelled and timed-out
+// solves return their distinct codes with a nil error because the partial
+// result was still reported.
+func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("fdiam", flag.ContinueOnError)
 	algo := fs.String("algo", "fdiam", "algorithm: fdiam, ifub, bounding, korf, naive")
 	workers := fs.Int("workers", 0, "parallel workers inside each BFS (0 = all CPUs, 1 = serial)")
@@ -97,30 +121,43 @@ func run(args []string, out io.Writer) error {
 	approxSweeps := fs.Int("approx", 0, "approximate: spend this many double sweeps instead of the exact solve and report the corridor; fdiam only")
 	logFormat := fs.String("log-format", "", "emit structured solver logs to stderr: text or json (empty = off)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug includes stage and bound events)")
+	faults := fs.String("faults", "", "fault-injection spec for chaos testing (overrides "+fault.EnvVar+"; see internal/fault), or \"list\" to print known points and exit")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitError, err
+	}
+	if *faults == "list" {
+		// The inventory covers the points linked into this binary; fdiamd
+		// registers additional serve/cluster points.
+		for _, name := range fault.List() {
+			fmt.Fprintln(out, name)
+		}
+		return exitOK, nil
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
+		return exitError, fmt.Errorf("usage: fdiam [flags] <graph-file> (see -h)")
 	}
 	if *algo != "fdiam" && (*traceFile != "" || *eventsFile != "" || *progress != 0 || *ckDir != "" ||
 		*epsilon != 0 || *approxSweeps != 0) {
-		return fmt.Errorf("-trace, -events, -progress, -checkpoint-dir, -epsilon and -approx require -algo fdiam")
+		return exitError, fmt.Errorf("-trace, -events, -progress, -checkpoint-dir, -epsilon and -approx require -algo fdiam")
 	}
 	if *epsilon < -1 {
-		return fmt.Errorf("-epsilon %d: use a tolerance ≥ 0, or -1 to force exactness on resume", *epsilon)
+		return exitError, fmt.Errorf("-epsilon %d: use a tolerance ≥ 0, or -1 to force exactness on resume", *epsilon)
 	}
 	if *approxSweeps < 0 {
-		return fmt.Errorf("-approx %d: the sweep budget cannot be negative", *approxSweeps)
+		return exitError, fmt.Errorf("-approx %d: the sweep budget cannot be negative", *approxSweeps)
 	}
-	if err := fault.ConfigureFromEnv(); err != nil {
-		return err
+	if *faults != "" {
+		if err := fault.Configure(*faults); err != nil {
+			return exitError, err
+		}
+	} else if err := fault.ConfigureFromEnv(); err != nil {
+		return exitError, err
 	}
 
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, nil)
 		if err != nil {
-			return fmt.Errorf("http: %w", err)
+			return exitError, fmt.Errorf("http: %w", err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "fdiam: serving /metrics, /progress, /debug/pprof on http://%s\n", srv.Addr())
@@ -135,11 +172,11 @@ func run(args []string, out io.Writer) error {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			return exitError, fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			return exitError, fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -160,11 +197,11 @@ func run(args []string, out io.Writer) error {
 
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	g, err := graphio.ReadAuto(data)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	if *verbose {
 		s := graph.ComputeStats(g)
@@ -181,7 +218,7 @@ func run(args []string, out io.Writer) error {
 	if *logFormat != "" {
 		lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		ctx = obs.ContextWithLogger(ctx, lg)
 	}
@@ -198,7 +235,7 @@ func run(args []string, out io.Writer) error {
 			if *traceFile != "" {
 				f, err := os.Create(*traceFile)
 				if err != nil {
-					return fmt.Errorf("trace: %w", err)
+					return exitError, fmt.Errorf("trace: %w", err)
 				}
 				defer f.Close()
 				cfg.ChromeTrace = f
@@ -206,7 +243,7 @@ func run(args []string, out io.Writer) error {
 			if *eventsFile != "" {
 				f, err := os.Create(*eventsFile)
 				if err != nil {
-					return fmt.Errorf("events: %w", err)
+					return exitError, fmt.Errorf("events: %w", err)
 				}
 				defer f.Close()
 				cfg.Events = f
@@ -257,17 +294,21 @@ func run(args []string, out io.Writer) error {
 		elapsed := time.Since(start)
 		if trace != nil {
 			if err := trace.Finish(); err != nil {
-				return fmt.Errorf("trace: %w", err)
+				return exitError, fmt.Errorf("trace: %w", err)
 			}
 		}
 		if *jsonOut {
-			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Upper, res.Infinite,
-				res.TimedOut, res.Cancelled, res.Approximate, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0)
+			if err := writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Upper, res.Infinite,
+				res.TimedOut, res.Cancelled, res.Approximate, res.WitnessA, res.WitnessB, elapsed, &res.Stats, 0); err != nil {
+				return exitError, err
+			}
+			return solveExitCode(res.TimedOut, res.Cancelled), nil
 		}
 		report(out, res.Diameter, res.Upper, res.Infinite, res.TimedOut, res.Cancelled, res.Approximate, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: %s\n", res.Stats.String())
 		}
+		return solveExitCode(res.TimedOut, res.Cancelled), nil
 	case "ifub", "bounding", "korf", "naive":
 		opt := baseline.Options{Workers: *workers, Timeout: *timeout}
 		var res baseline.Result
@@ -283,17 +324,34 @@ func run(args []string, out io.Writer) error {
 		}
 		elapsed := time.Since(start)
 		if *jsonOut {
-			return writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Diameter, res.Infinite,
-				res.TimedOut, false, false, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals)
+			if err := writeJSON(out, *algo, fs.Arg(0), res.Diameter, res.Diameter, res.Infinite,
+				res.TimedOut, false, false, graph.NoVertex, graph.NoVertex, elapsed, nil, res.BFSTraversals); err != nil {
+				return exitError, err
+			}
+			return solveExitCode(res.TimedOut, false), nil
 		}
 		report(out, res.Diameter, res.Diameter, res.Infinite, res.TimedOut, false, false, elapsed)
 		if *showStats {
 			fmt.Fprintf(out, "stats: bfs-traversals=%d\n", res.BFSTraversals)
 		}
+		return solveExitCode(res.TimedOut, false), nil
 	default:
-		return fmt.Errorf("unknown -algo %q", *algo)
+		return exitError, fmt.Errorf("unknown -algo %q", *algo)
 	}
-	return nil
+}
+
+// solveExitCode maps how the solve ended onto the CLI's documented exit
+// codes. Timeout wins over cancellation when both are set: the deadline
+// firing is what cancelled the run.
+func solveExitCode(timedOut, cancelled bool) int {
+	switch {
+	case timedOut:
+		return exitTimedOut
+	case cancelled:
+		return exitCancelled
+	default:
+		return exitOK
+	}
 }
 
 // jsonResult is the -json output schema. Witnesses use -1 for "none"

@@ -31,7 +31,7 @@ func TestRunComputesDiameter(t *testing.T) {
 	path := writeTempGraph(t)
 	for _, algo := range []string{"fdiam", "ifub", "bounding", "korf", "naive"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-algo", algo, path}, &buf); err != nil {
+		if _, err := run([]string{"-algo", algo, path}, &buf); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if !strings.Contains(buf.String(), "diameter: 10") {
@@ -43,7 +43,7 @@ func TestRunComputesDiameter(t *testing.T) {
 func TestRunStatsAndVerbose(t *testing.T) {
 	path := writeTempGraph(t)
 	var buf bytes.Buffer
-	if err := run([]string{"-stats", "-v", path}, &buf); err != nil {
+	if _, err := run([]string{"-stats", "-v", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -57,7 +57,7 @@ func TestRunStatsAndVerbose(t *testing.T) {
 func TestRunAblationFlags(t *testing.T) {
 	path := writeTempGraph(t)
 	var buf bytes.Buffer
-	err := run([]string{"-no-winnow", "-no-eliminate", "-no-chain", "-no-u", path}, &buf)
+	_, err := run([]string{"-no-winnow", "-no-eliminate", "-no-chain", "-no-u", path}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRunDirectionAndProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var buf bytes.Buffer
-	err := run([]string{
+	_, err := run([]string{
 		"-no-diropt", "-alpha", "7", "-beta", "48",
 		"-cpuprofile", cpu, "-memprofile", mem, path,
 	}, &buf)
@@ -99,7 +99,7 @@ func TestRunDirectionAndProfileFlags(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	path := writeTempGraph(t)
 	var buf bytes.Buffer
-	if err := run([]string{"-json", path}, &buf); err != nil {
+	if _, err := run([]string{"-json", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -134,7 +134,7 @@ func TestRunJSONOutput(t *testing.T) {
 
 	// Baselines emit bfs_traversals instead of the stats block.
 	buf.Reset()
-	if err := run([]string{"-json", "-algo", "ifub", path}, &buf); err != nil {
+	if _, err := run([]string{"-json", "-algo", "ifub", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var base struct {
@@ -157,7 +157,7 @@ func TestRunTraceAndEventsFlags(t *testing.T) {
 	trace := filepath.Join(dir, "run.trace.json")
 	events := filepath.Join(dir, "run.ndjson")
 	var buf bytes.Buffer
-	if err := run([]string{"-trace", trace, "-events", events, path}, &buf); err != nil {
+	if _, err := run([]string{"-trace", trace, "-events", events, path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -194,7 +194,7 @@ func TestRunTraceAndEventsFlags(t *testing.T) {
 	}
 
 	// The observability flags are wired to the F-Diam solver only.
-	if err := run([]string{"-algo", "ifub", "-trace", trace, path}, &buf); err == nil {
+	if _, err := run([]string{"-algo", "ifub", "-trace", trace, path}, &buf); err == nil {
 		t.Error("-trace with a baseline algorithm accepted")
 	}
 }
@@ -208,7 +208,7 @@ func TestRunProgressFlag(t *testing.T) {
 	}
 	old := os.Stderr
 	os.Stderr = wr
-	runErr := run([]string{"-progress", "1ms", "-workers", "1", path}, io.Discard)
+	_, runErr := run([]string{"-progress", "1ms", "-workers", "1", path}, io.Discard)
 	os.Stderr = old
 	wr.Close()
 	out, _ := io.ReadAll(rd)
@@ -228,7 +228,7 @@ func TestRunHTTPFlag(t *testing.T) {
 	var buf bytes.Buffer
 	// 127.0.0.1:0 picks a free port; the server only lives for the run,
 	// so this is a smoke test that the flag wires up and tears down.
-	if err := run([]string{"-http", "127.0.0.1:0", path}, &buf); err != nil {
+	if _, err := run([]string{"-http", "127.0.0.1:0", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "diameter: 10") {
@@ -244,7 +244,7 @@ func TestRunDisconnectedReportsInfinite(t *testing.T) {
 	}
 	f.Close()
 	var buf bytes.Buffer
-	if err := run([]string{path}, &buf); err != nil {
+	if _, err := run([]string{path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "infinite") || !strings.Contains(buf.String(), "7") {
@@ -254,14 +254,14 @@ func TestRunDisconnectedReportsInfinite(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{}, &buf); err == nil {
+	if _, err := run([]string{}, &buf); err == nil {
 		t.Error("missing file arg accepted")
 	}
-	if err := run([]string{"/nonexistent/file"}, &buf); err == nil {
+	if _, err := run([]string{"/nonexistent/file"}, &buf); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeTempGraph(t)
-	if err := run([]string{"-algo", "nope", path}, &buf); err == nil {
+	if _, err := run([]string{"-algo", "nope", path}, &buf); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -270,7 +270,7 @@ func TestRunCheckpointFlags(t *testing.T) {
 	path := writeTempGraph(t)
 	ckDir := filepath.Join(t.TempDir(), "ckpt")
 	var buf bytes.Buffer
-	if err := run([]string{"-checkpoint-dir", ckDir, "-checkpoint-interval", "1ms", path}, &buf); err != nil {
+	if _, err := run([]string{"-checkpoint-dir", ckDir, "-checkpoint-interval", "1ms", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "diameter: 10") {
@@ -281,7 +281,75 @@ func TestRunCheckpointFlags(t *testing.T) {
 		t.Errorf("completed run left a snapshot: %v", err)
 	}
 	// Checkpointing is an F-Diam feature; baselines must reject the flag.
-	if err := run([]string{"-algo", "ifub", "-checkpoint-dir", ckDir, path}, &buf); err == nil {
+	if _, err := run([]string{"-algo", "ifub", "-checkpoint-dir", ckDir, path}, &buf); err == nil {
 		t.Error("baseline accepted -checkpoint-dir")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	path := writeTempGraph(t)
+	var buf bytes.Buffer
+	if code, err := run([]string{path}, &buf); err != nil || code != exitOK {
+		t.Errorf("clean solve: code %d err %v, want %d nil", code, err, exitOK)
+	}
+	if code, err := run([]string{"/nonexistent/file"}, &buf); err == nil || code != exitError {
+		t.Errorf("missing file: code %d err %v, want %d and an error", code, err, exitError)
+	}
+}
+
+func TestRunTimedOutExitCode(t *testing.T) {
+	// A graph big enough that a 1ns deadline always fires before the solve
+	// finishes, and a seed small enough to build instantly.
+	path := filepath.Join(t.TempDir(), "big.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteEdgeList(f, gen.Grid2D(200, 200)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	code, err := run([]string{"-timeout", "1ns", path}, &buf)
+	if err != nil || code != exitTimedOut {
+		t.Fatalf("timed-out solve: code %d err %v, want %d nil", code, err, exitTimedOut)
+	}
+	if !strings.Contains(buf.String(), "TIMEOUT") {
+		t.Errorf("timed-out run still reported: %q", buf.String())
+	}
+}
+
+func TestSolveExitCodeMapping(t *testing.T) {
+	if got := solveExitCode(false, false); got != exitOK {
+		t.Errorf("clean = %d, want %d", got, exitOK)
+	}
+	if got := solveExitCode(false, true); got != exitCancelled {
+		t.Errorf("cancelled = %d, want %d", got, exitCancelled)
+	}
+	if got := solveExitCode(true, false); got != exitTimedOut {
+		t.Errorf("timed out = %d, want %d", got, exitTimedOut)
+	}
+	// A deadline firing is itself a cancellation; the timeout code wins.
+	if got := solveExitCode(true, true); got != exitTimedOut {
+		t.Errorf("both = %d, want %d", got, exitTimedOut)
+	}
+}
+
+func TestRunFaultsListAndValidation(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-faults", "list"}, &buf)
+	if err != nil || code != exitOK {
+		t.Fatalf("-faults=list: code %d err %v", code, err)
+	}
+	// The inventory is per-binary: fdiam links the solver and I/O points
+	// (the serve/cluster points live in fdiamd).
+	for _, want := range []string{"graphio.short_read", "checkpoint.torn_write"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-faults=list output missing %s:\n%s", want, buf.String())
+		}
+	}
+	path := writeTempGraph(t)
+	if code, err := run([]string{"-faults", "no.such.point", path}, &buf); err == nil || code != exitError {
+		t.Errorf("bad -faults spec: code %d err %v, want fail-fast", code, err)
 	}
 }

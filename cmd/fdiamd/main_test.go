@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -149,5 +150,27 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-addr", "256.256.256.256:99999"}, out); err == nil {
 		t.Fatal("unusable listen address accepted")
+	}
+}
+
+// TestDaemonFaultsList pins the per-binary fault inventory: fdiamd links
+// the serve and cluster packages, so their points must appear alongside
+// the solver/I-O points shared with fdiam.
+func TestDaemonFaultsList(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-faults", "list"}, out); err != nil {
+		t.Fatalf("-faults=list: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"cluster.peer_dial",
+		"cluster.peer_timeout",
+		"cluster.forward_5xx",
+		"serve.webhook_fail",
+		"graphio.short_read",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-faults=list output missing %s:\n%s", want, got)
+		}
 	}
 }

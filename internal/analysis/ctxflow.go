@@ -37,6 +37,7 @@ var ctxScopeSuffixes = []string{
 	"internal/core",
 	"internal/bfs",
 	"internal/serve",
+	"internal/cluster",
 	"internal/checkpoint",
 	"internal/ecc",
 }

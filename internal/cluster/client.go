@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"fdiam/internal/fault"
+)
+
+// Injection points for chaos testing (inert unless armed; see the fault
+// package):
+//
+//	cluster.peer_dial    fail a forward attempt before it dials — a dead
+//	                     or unreachable peer
+//	cluster.peer_timeout fail a forward attempt as a deadline expiry — a
+//	                     peer that accepted the connection and then hung
+//	cluster.forward_5xx  turn the owner's response into a 502 — a peer
+//	                     that answered but is broken
+var (
+	faultPeerDial    = fault.Register("cluster.peer_dial")
+	faultPeerTimeout = fault.Register("cluster.peer_timeout")
+	faultForward5xx  = fault.Register("cluster.forward_5xx")
+)
+
+// ErrPeerDown is returned by Forward without dialing when the target peer
+// is currently marked down — the fail-fast path that makes a dead owner
+// cost one health-map lookup instead of a dial timeout per request.
+var ErrPeerDown = errors.New("cluster: peer is down")
+
+// Forward retry policy: the same staged-read shape internal/serve uses —
+// capped exponential backoff with full jitter — scaled up to network
+// round-trip latencies.
+const (
+	forwardBaseDelay = 50 * time.Millisecond
+	forwardMaxDelay  = 400 * time.Millisecond
+)
+
+// Forward sends one HTTP request to peer, resending body on every attempt,
+// with per-attempt timeouts and capped exponential backoff plus full
+// jitter between attempts. Transport errors, timeouts and 5xx responses
+// are retried up to the configured attempt budget and feed the peer's
+// health state; any response below 500 is definitive and returned as-is
+// (the caller must close its Body, which also releases the attempt's
+// timeout context). A peer currently marked down fails immediately with
+// ErrPeerDown.
+func (c *Cluster) Forward(ctx context.Context, peer, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	if !c.Alive(peer) {
+		return nil, fmt.Errorf("%w: %s", ErrPeerDown, peer)
+	}
+	delay := forwardBaseDelay
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
+		resp, err := c.attempt(ctx, peer, method, pathAndQuery, header, body)
+		if err == nil {
+			c.markSuccess(peer)
+			return resp, nil
+		}
+		lastErr = err
+		c.markFailure(peer)
+		if ctx.Err() != nil || attempt == c.cfg.Attempts {
+			break
+		}
+		// Full jitter on the current backoff step, exactly like the
+		// staged-read retry loop: spreads synchronized retries against a
+		// briefly unhappy peer.
+		time.Sleep(delay/2 + rand.N(delay/2))
+		delay *= 2
+		if delay > forwardMaxDelay {
+			delay = forwardMaxDelay
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt performs one forward attempt under its own timeout context. On
+// success the context's cancel is handed to the response body, so the
+// caller's read window is bounded by the same per-attempt deadline.
+func (c *Cluster) attempt(ctx context.Context, peer, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	c.mAttempts.Inc()
+	if err := faultPeerDial.Err(); err != nil {
+		return nil, err
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	if faultPeerTimeout.Hit() {
+		cancel()
+		return nil, fmt.Errorf("%w at cluster.peer_timeout: %s", fault.ErrInjected, context.DeadlineExceeded)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		drainBody(resp)
+		cancel()
+		return nil, fmt.Errorf("cluster: peer %s answered %d", peer, resp.StatusCode)
+	}
+	if faultForward5xx.Hit() {
+		drainBody(resp)
+		cancel()
+		return nil, fmt.Errorf("%w at cluster.forward_5xx: peer %s response degraded to 502", fault.ErrInjected, peer)
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose ties an attempt's timeout context to its response body:
+// the context must outlive Forward (the caller streams the body) but must
+// not leak past it.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// drainBody consumes and closes a response body so the underlying
+// connection is reusable. Bounded: an error page larger than 1 MiB is not
+// worth salvaging the connection for.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}

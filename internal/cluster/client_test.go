@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fdiam/internal/fault"
+	"fdiam/internal/obs"
+)
+
+// twoNode builds a Cluster whose membership is {ts.URL, self-stub} with
+// fast retry/health settings, pointed at the given test server.
+func twoNode(t *testing.T, ts *httptest.Server, attempts, failThreshold int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:           "http://self.invalid:1",
+		Peers:          []string{"http://self.invalid:1", ts.URL},
+		Attempts:       attempts,
+		FailThreshold:  failThreshold,
+		CoolDown:       50 * time.Millisecond,
+		AttemptTimeout: 5 * time.Second,
+		Registry:       obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestForwardSuccess(t *testing.T) {
+	var got atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "payload" {
+			t.Errorf("peer saw body %q, want payload", body)
+		}
+		if r.Header.Get("X-Test") != "v" {
+			t.Errorf("peer did not see the forwarded header")
+		}
+		got.Add(1)
+		_, _ = io.WriteString(w, "answer")
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts, 3, 3)
+
+	hdr := http.Header{}
+	hdr.Set("X-Test", "v")
+	resp, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter?timeout=1s", hdr, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "answer" || got.Load() != 1 {
+		t.Fatalf("got body %q after %d attempts, want answer after 1", body, got.Load())
+	}
+}
+
+func TestForwardRetriesOn5xxAndResendsBody(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "graph" {
+			t.Errorf("attempt %d saw body %q, want graph", calls.Load()+1, body)
+		}
+		if calls.Add(1) < 3 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts, 3, 10)
+
+	resp, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, []byte("graph"))
+	if err != nil {
+		t.Fatalf("third attempt should have succeeded: %v", err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 3 {
+		t.Fatalf("peer saw %d attempts, want 3", calls.Load())
+	}
+}
+
+func TestForwardDoesNotRetryBelow500(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "quota", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts, 3, 10)
+
+	resp, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil)
+	if err != nil {
+		t.Fatalf("a 429 is a definitive answer, not a failure: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || calls.Load() != 1 {
+		t.Fatalf("status %d after %d attempts, want 429 after exactly 1", resp.StatusCode, calls.Load())
+	}
+}
+
+func TestForwardMarksPeerDownAndFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	// 3 attempts with threshold 3: one Forward call downs the peer.
+	c := twoNode(t, ts, 3, 3)
+
+	if _, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil); err == nil {
+		t.Fatal("all-5xx forward must fail")
+	}
+	if c.Alive(ts.URL) {
+		t.Fatal("peer must be down after threshold consecutive failures")
+	}
+	// Fail-fast: the next forward returns ErrPeerDown without dialing.
+	_, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("got %v, want ErrPeerDown", err)
+	}
+	// After the cool-down the peer is probational and is dialed again.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil); errors.Is(err, ErrPeerDown) {
+		t.Fatal("cool-down expiry must re-admit the peer probationally")
+	}
+}
+
+func TestForwardInjectedDialFault(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts, 2, 10)
+
+	if err := fault.Configure("cluster.peer_dial:times=2"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	_, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("got %v, want the injected dial failure", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("an injected dial failure must not reach the peer")
+	}
+	// Budget exhausted (times=2): the next forward dials for real.
+	resp, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestForwardInjectedTimeoutFault(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	defer ts.Close()
+	c := twoNode(t, ts, 1, 10)
+
+	if err := fault.Configure("cluster.peer_timeout:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	_, err := c.Forward(context.Background(), ts.URL, http.MethodPost, "/diameter", nil, nil)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("got %v, want the injected timeout", err)
+	}
+}
+
+func TestForwardContextCancelStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := twoNode(t, ts, 10, 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Forward(ctx, ts.URL, http.MethodPost, "/diameter", nil, nil); err == nil {
+		t.Fatal("cancelled forward must fail")
+	}
+	if calls.Load() > 1 {
+		t.Fatalf("a cancelled context must stop the retry loop, saw %d attempts", calls.Load())
+	}
+}
+
+func TestProbeMarksDownAndReadmits(t *testing.T) {
+	healthy := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = io.WriteString(w, "ok\n")
+	}))
+	defer ts.Close()
+	c, err := New(Config{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{"http://self.invalid:1", ts.URL},
+		ProbeInterval: 5 * time.Millisecond,
+		FailThreshold: 2,
+		CoolDown:      10 * time.Millisecond,
+		Registry:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.StartProbes(ctx)
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor(func() bool {
+		for _, st := range c.Status() {
+			if st.Peer == ts.URL && !st.Alive {
+				return true
+			}
+		}
+		return false
+	}, "probes to mark the unhealthy peer down")
+
+	healthy.Store(true)
+	waitFor(func() bool {
+		for _, st := range c.Status() {
+			if st.Peer == ts.URL && st.Alive && st.ConsecutiveFails == 0 {
+				return true
+			}
+		}
+		return false
+	}, "probes to re-admit the recovered peer")
+}
+
+func TestStatusMarksSelf(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://b:1"}, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := c.Status()
+	if len(sts) != 2 {
+		t.Fatalf("Status() returned %d peers, want 2", len(sts))
+	}
+	for _, st := range sts {
+		if st.Self != (st.Peer == "http://a:1") {
+			t.Errorf("peer %s Self=%v", st.Peer, st.Self)
+		}
+		if !st.Alive {
+			t.Errorf("fresh cluster must report every peer alive")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"fdiam/internal/obs"
+)
+
+// Config sizes one Cluster. Self and Peers are required; every other field
+// falls back to the documented default.
+type Config struct {
+	// Self is this node's advertised base URL. It must appear in Peers —
+	// a node that is not part of its own ring would forward every request.
+	Self string
+
+	// Peers is the full static membership: the base URL of every node,
+	// including this one. All nodes must be configured with the same set
+	// (order does not matter; the ring is derived from the sorted list).
+	Peers []string
+
+	// VNodes is the virtual-node count per peer on the hash ring.
+	// Default 64.
+	VNodes int
+
+	// ProbeInterval is the background health-probe cadence. Default 2s.
+	ProbeInterval time.Duration
+
+	// FailThreshold is how many consecutive failures (forward attempts or
+	// probes) mark a peer down. Default 3.
+	FailThreshold int
+
+	// CoolDown is how long a down peer is skipped before it gets another
+	// attempt. Default 10s.
+	CoolDown time.Duration
+
+	// AttemptTimeout bounds one forward attempt end to end — dial,
+	// request, and the owner's solve. Forwarded solves taking longer than
+	// this degrade to a local solve, which is wasteful but never wrong.
+	// Default 60s.
+	AttemptTimeout time.Duration
+
+	// Attempts is the per-forward retry budget. Default 3.
+	Attempts int
+
+	// Registry receives the fdiamd_peer_* metrics. nil selects
+	// obs.Default().
+	Registry *obs.Registry
+
+	// Logger receives peer-event logs (peer_down, peer_up, probe
+	// failures). nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.VNodes <= 0 {
+		out.VNodes = defaultVNodes
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 2 * time.Second
+	}
+	if out.FailThreshold <= 0 {
+		out.FailThreshold = 3
+	}
+	if out.CoolDown <= 0 {
+		out.CoolDown = 10 * time.Second
+	}
+	if out.AttemptTimeout <= 0 {
+		out.AttemptTimeout = 60 * time.Second
+	}
+	if out.Attempts <= 0 {
+		out.Attempts = 3
+	}
+	if out.Registry == nil {
+		out.Registry = obs.Default()
+	}
+	return out
+}
+
+// Cluster is one node's view of the ring: ownership lookups, the
+// failure-aware peer client, and the health prober. All methods are safe
+// for concurrent use.
+type Cluster struct {
+	cfg    Config
+	self   string
+	ring   *ring
+	health *health
+	client *http.Client
+	lg     *slog.Logger
+
+	mAttempts      *obs.Counter
+	mFailures      *obs.Counter
+	mDownTotal     *obs.Counter
+	mReadmitted    *obs.Counter
+	mProbeFailures *obs.Counter
+}
+
+// normalizePeer canonicalizes one peer URL: scheme required (http or
+// https), host required, trailing slash dropped so flag values and
+// httptest URLs compare equal.
+func normalizePeer(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: peer %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q: want an http(s) base URL like http://host:port", raw)
+	}
+	return strings.TrimRight(raw, "/"), nil
+}
+
+// New validates the membership and builds the node's ring view. Self must
+// be one of Peers.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		n, err := normalizePeer(p)
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, n)
+	}
+	self, err := normalizePeer(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	found := false
+	for _, p := range peers {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, peers)
+	}
+	r, err := newRing(peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = obs.DiscardLogger()
+	}
+	reg := cfg.Registry
+	c := &Cluster{
+		cfg:    cfg,
+		self:   self,
+		ring:   r,
+		health: newHealth(cfg.FailThreshold, cfg.CoolDown),
+		// No Client.Timeout: the per-attempt context bounds each call, and
+		// a flat client timeout would double-count the owner's solve time.
+		client: &http.Client{},
+		lg:     lg,
+
+		mAttempts:      reg.Counter("fdiamd_peer_attempts_total", "peer requests attempted (forwards and cache probes, before retries collapse)"),
+		mFailures:      reg.Counter("fdiamd_peer_failures_total", "peer request attempts that failed (dial, timeout or 5xx)"),
+		mDownTotal:     reg.Counter("fdiamd_peer_down_total", "transitions of a peer to the down state"),
+		mReadmitted:    reg.Counter("fdiamd_peer_readmitted_total", "down peers re-admitted after a successful attempt or probe"),
+		mProbeFailures: reg.Counter("fdiamd_peer_probe_failures_total", "health probes that failed"),
+	}
+	return c, nil
+}
+
+// Self returns this node's normalized base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the normalized, sorted membership.
+func (c *Cluster) Peers() []string { return c.ring.peers }
+
+// Owner returns the base URL of the node owning key on the hash ring.
+// Ownership is static: a down owner keeps its keys and requests degrade to
+// local solves until it returns.
+func (c *Cluster) Owner(key string) string { return c.ring.owner(key) }
+
+// Alive reports whether peer is currently considered dialable.
+func (c *Cluster) Alive(peer string) bool { return c.health.alive(peer, time.Now()) }
+
+// markFailure records a failed attempt and handles the down transition.
+func (c *Cluster) markFailure(peer string) {
+	c.mFailures.Inc()
+	if c.health.fail(peer, time.Now()) {
+		c.mDownTotal.Inc()
+		c.lg.Warn("peer_down", obs.KeyPeer, peer)
+	}
+}
+
+// markSuccess records a successful attempt and handles re-admission.
+func (c *Cluster) markSuccess(peer string) {
+	if c.health.ok(peer) {
+		c.mReadmitted.Inc()
+		c.lg.Info("peer_up", obs.KeyPeer, peer)
+	}
+}
+
+// PeerStatus is one peer's health as reported by Status (and fdiamd's
+// GET /cluster endpoint).
+type PeerStatus struct {
+	Peer             string `json:"peer"`
+	Self             bool   `json:"self"`
+	Alive            bool   `json:"alive"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	DownUntil        string `json:"down_until,omitempty"`
+}
+
+// Status returns the health of every ring member, sorted by peer URL.
+func (c *Cluster) Status() []PeerStatus {
+	now := time.Now()
+	out := make([]PeerStatus, 0, len(c.ring.peers))
+	for _, p := range c.ring.peers {
+		fails, down, downUntil := c.health.snapshot(p, now)
+		st := PeerStatus{Peer: p, Self: p == c.self, Alive: !down, ConsecutiveFails: fails}
+		if down {
+			st.DownUntil = downUntil.UTC().Format(time.RFC3339)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// StartProbes launches the background health prober; it exits when ctx is
+// cancelled. Probes keep the down/up state fresh even on idle nodes, so the
+// first request after an owner dies fails fast instead of eating a dial
+// timeout, and a recovered owner is re-admitted without waiting for a
+// request-path failure to age out.
+func (c *Cluster) StartProbes(ctx context.Context) {
+	if len(c.ring.peers) <= 1 {
+		return // single-node ring: nothing to probe
+	}
+	//fdiamlint:ignore nakedgo health prober lifecycle goroutine, exits when the server's base context is cancelled
+	go c.probeLoop(ctx)
+}
+
+// probeTimeout bounds one /healthz probe; health checks are cheap, so a
+// peer that cannot answer in 2s is as good as down.
+const probeTimeout = 2 * time.Second
+
+func (c *Cluster) probeLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, p := range c.ring.peers {
+			if p == c.self || ctx.Err() != nil {
+				continue
+			}
+			c.probeOne(ctx, p)
+		}
+	}
+}
+
+// probeOne hits one peer's /healthz. A draining peer answers 503 and is
+// marked down exactly like a dead one — it will refuse solves anyway.
+func (c *Cluster) probeOne(ctx context.Context, peer string) {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.mProbeFailures.Inc()
+		c.markFailure(peer)
+		return
+	}
+	drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		c.mProbeFailures.Inc()
+		c.markFailure(peer)
+		return
+	}
+	c.markSuccess(peer)
+}

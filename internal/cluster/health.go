@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// health tracks per-peer availability from both forwarding outcomes and
+// background probes. A peer goes down after threshold consecutive failures
+// and stays down for coolDown; after the cool-down expires the peer is
+// probational — alive reports true again so the next forward (or probe)
+// gets one attempt, and a success fully re-admits it while a failure
+// re-extends the cool-down immediately (the failure streak is still at the
+// threshold). Down peers fail fast: the client skips them without dialing,
+// so a dead owner costs one ring lookup instead of a dial timeout per
+// request.
+type health struct {
+	mu        sync.Mutex
+	threshold int
+	coolDown  time.Duration
+	peers     map[string]*peerState
+}
+
+type peerState struct {
+	fails     int // consecutive failures since the last success
+	down      bool
+	downUntil time.Time
+}
+
+func newHealth(threshold int, coolDown time.Duration) *health {
+	return &health{threshold: threshold, coolDown: coolDown, peers: make(map[string]*peerState)}
+}
+
+// alive reports whether the peer should be dialed right now. Unknown peers
+// are alive (optimistic start), and a down peer becomes dialable again the
+// moment its cool-down expires.
+func (h *health) alive(peer string, now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	if !ok || !st.down {
+		return true
+	}
+	return !now.Before(st.downUntil)
+}
+
+// fail records one failed attempt against peer and reports whether this
+// failure transitioned it to down (the caller logs and counts transitions,
+// not every failure).
+func (h *health) fail(peer string, now time.Time) (wentDown bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	if !ok {
+		st = &peerState{}
+		h.peers[peer] = st
+	}
+	st.fails++
+	if st.fails < h.threshold {
+		return false
+	}
+	wentDown = !st.down
+	st.down = true
+	st.downUntil = now.Add(h.coolDown)
+	return wentDown
+}
+
+// ok records one successful attempt against peer, clearing its failure
+// streak, and reports whether this re-admitted a down peer.
+func (h *health) ok(peer string) (cameUp bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	if !ok {
+		return false
+	}
+	cameUp = st.down
+	st.fails = 0
+	st.down = false
+	st.downUntil = time.Time{}
+	return cameUp
+}
+
+// snapshot returns the peer's current state for status reporting.
+func (h *health) snapshot(peer string, now time.Time) (fails int, down bool, downUntil time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	if !ok {
+		return 0, false, time.Time{}
+	}
+	down = st.down && now.Before(st.downUntil)
+	return st.fails, down, st.downUntil
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthDownAfterThresholdAndCoolDownReadmission(t *testing.T) {
+	h := newHealth(3, 10*time.Second)
+	now := time.Unix(1000, 0)
+	const peer = "http://a:1"
+
+	if !h.alive(peer, now) {
+		t.Fatal("unknown peer must start alive")
+	}
+	if h.fail(peer, now) {
+		t.Fatal("first failure must not transition to down")
+	}
+	if h.fail(peer, now) {
+		t.Fatal("second failure must not transition to down")
+	}
+	if !h.fail(peer, now) {
+		t.Fatal("third failure must transition to down")
+	}
+	if h.alive(peer, now) {
+		t.Fatal("peer must be dead inside the cool-down")
+	}
+	if h.alive(peer, now.Add(9*time.Second)) {
+		t.Fatal("peer must stay dead until the cool-down expires")
+	}
+	// Cool-down expired: probational — dialable again.
+	if !h.alive(peer, now.Add(10*time.Second)) {
+		t.Fatal("peer must be probationally alive after the cool-down")
+	}
+	// A probational failure re-extends the cool-down without needing a
+	// fresh streak (fails is already at the threshold).
+	later := now.Add(11 * time.Second)
+	h.fail(peer, later)
+	if h.alive(peer, later.Add(9*time.Second)) {
+		t.Fatal("probational failure must re-extend the cool-down")
+	}
+	// A success fully re-admits.
+	if !h.ok(peer) {
+		t.Fatal("ok() on a down peer must report re-admission")
+	}
+	if !h.alive(peer, later) {
+		t.Fatal("peer must be alive after a success")
+	}
+	if h.ok(peer) {
+		t.Fatal("ok() on an up peer must not report re-admission")
+	}
+}
+
+func TestHealthSuccessResetsStreak(t *testing.T) {
+	h := newHealth(3, time.Second)
+	now := time.Unix(0, 0)
+	const peer = "p"
+	h.fail(peer, now)
+	h.fail(peer, now)
+	h.ok(peer)
+	// The streak restarted: two more failures must not down the peer.
+	if h.fail(peer, now) || h.fail(peer, now) {
+		t.Fatal("streak must reset after a success")
+	}
+	if !h.fail(peer, now) {
+		t.Fatal("third consecutive failure must down the peer")
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	h := newHealth(1, time.Minute)
+	now := time.Unix(5000, 0)
+	h.fail("p", now)
+	fails, down, until := h.snapshot("p", now)
+	if fails != 1 || !down || !until.Equal(now.Add(time.Minute)) {
+		t.Fatalf("snapshot = (%d, %v, %v), want (1, true, %v)", fails, down, until, now.Add(time.Minute))
+	}
+	// Past the cool-down the snapshot reports alive again.
+	_, down, _ = h.snapshot("p", now.Add(2*time.Minute))
+	if down {
+		t.Fatal("snapshot must report alive after the cool-down")
+	}
+	fails, down, _ = h.snapshot("unknown", now)
+	if fails != 0 || down {
+		t.Fatal("unknown peer must snapshot as healthy")
+	}
+}

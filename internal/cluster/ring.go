@@ -1,0 +1,107 @@
+// Package cluster implements fdiamd's shared-nothing cluster layer: a
+// static-membership consistent-hash ring that assigns every graph (keyed by
+// the content SHA-256 the caches already use) to exactly one owner node, a
+// failure-aware peer client with per-attempt timeouts and capped
+// exponential backoff, and background health probes that mark peers down
+// after consecutive failures and re-admit them after a cool-down.
+//
+// The design routes whole graphs to single owners rather than distributing
+// BFS across nodes: Abboud, Censor-Hillel & Khoury show distributed
+// distance computation pays near-linear communication even on sparse
+// networks, so the win of a cluster is cache locality and horizontal
+// admission capacity, not algorithm distribution. That makes peer *failure
+// handling* the hard part, and every failure edge here degrades toward a
+// local solve instead of an error. DESIGN.md §15 documents the
+// architecture and the failure matrix.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is the virtual-node count per peer. 64 points per peer
+// keeps the maximum ownership share within a few percent of 1/n for small
+// static rings while the whole ring stays a sub-kilobyte sorted slice.
+const defaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the peer that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ring is the consistent-hash circle over the static membership. It is
+// immutable after construction: fdiamd clusters are configured with the
+// full peer list up front (-peers), and a down peer keeps its ownership —
+// requests for its graphs degrade to local solves until it returns, which
+// preserves cache locality across transient failures instead of reshuffling
+// every key.
+type ring struct {
+	points []ringPoint
+	peers  []string // sorted, deduplicated
+}
+
+// hashString maps an arbitrary string onto the ring's 64-bit circle:
+// FNV-1a over the bytes, then a splitmix64 finalizer. The finalizer is
+// load-bearing — raw FNV of short, similar vnode labels ("peer#0",
+// "peer#1", …) clusters on the circle badly enough to skew a 4-peer ring
+// to a 6%/39% ownership split; the mix restores a few-percent-of-fair
+// spread at 64 vnodes.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the standard splitmix64 finalizer (Steele et al.).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newRing builds the circle from the peer list with vnodes virtual nodes
+// per peer (0 selects defaultVNodes). Peers are sorted and deduplicated
+// first so every node of a cluster derives the identical ring regardless of
+// the order its -peers flag listed them.
+func newRing(peers []string, vnodes int) (*ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &ring{peers: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, p := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashString(p + "#" + strconv.Itoa(i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// owner returns the peer owning key: the first virtual node clockwise from
+// the key's hash, wrapping at the top of the circle.
+func (r *ring) owner(key string) string {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}

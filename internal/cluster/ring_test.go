@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("graph-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	a, err := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("owner(%s) differs across peer orderings: %s vs %s", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+func TestRingCoversAllPeersRoughlyEvenly(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := newRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(4000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / float64(len(keys))
+		// 64 vnodes keeps each peer's share loosely near 1/4; the bound here
+		// only guards against a broken ring (one peer owning ~everything or
+		// ~nothing).
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("peer %s owns %.1f%% of keys, outside [10%%, 45%%]", p, 100*share)
+		}
+	}
+}
+
+func TestRingOwnerStable(t *testing.T) {
+	r, err := newRing([]string{"http://a:1", "http://b:1"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(50) {
+		if r.owner(k) != r.owner(k) {
+			t.Fatalf("owner(%s) not stable", k)
+		}
+	}
+}
+
+func TestRingEmptyPeers(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Fatal("expected error for empty peer list")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}}); err == nil {
+		t.Error("self outside the peer list should be rejected")
+	}
+	if _, err := New(Config{Self: "ftp://a:1", Peers: []string{"ftp://a:1"}}); err == nil {
+		t.Error("non-http scheme should be rejected")
+	}
+	if _, err := New(Config{Self: "http://a:1", Peers: nil}); err == nil {
+		t.Error("empty membership should be rejected")
+	}
+	c, err := New(Config{Self: "http://a:1/", Peers: []string{"http://a:1", "http://b:1/"}})
+	if err != nil {
+		t.Fatalf("trailing slashes should normalize away: %v", err)
+	}
+	if c.Self() != "http://a:1" {
+		t.Errorf("Self() = %q, want normalized http://a:1", c.Self())
+	}
+}

@@ -263,6 +263,15 @@ func Active() []string {
 	return out
 }
 
+// List returns every registered injection point name, sorted — the
+// inventory behind the daemons' `-faults=list` mode, so operators can
+// enumerate valid chaos-matrix names without reading source.
+func List() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return names()
+}
+
 // names returns every registered point name, sorted. Caller holds regMu.
 func names() []string {
 	out := make([]string, 0, len(registry))

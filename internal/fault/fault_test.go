@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -141,6 +142,45 @@ func TestConfigureReplacesAndValidates(t *testing.T) {
 	}
 	if err := Configure(b.Name() + ":prob=2"); err == nil {
 		t.Fatal("out-of-range prob accepted")
+	}
+}
+
+func TestListEnumeratesRegisteredPoints(t *testing.T) {
+	a := point(t, "alpha")
+	b := point(t, "beta")
+	got := List()
+	found := 0
+	for i, name := range got {
+		if i > 0 && got[i-1] >= name {
+			t.Fatalf("List() not sorted: %q before %q", got[i-1], name)
+		}
+		if name == a.Name() || name == b.Name() {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("List() = %v, missing %s and/or %s", got, a.Name(), b.Name())
+	}
+}
+
+// TestConfigureRejectsUnknownPointNamingKnownOnes pins the arm-time
+// contract: a typo in a chaos matrix fails fast, and the error names the
+// valid points so the fix is self-serve.
+func TestConfigureRejectsUnknownPointNamingKnownOnes(t *testing.T) {
+	known := point(t, "known")
+	err := Configure("definitely.not.registered")
+	if err == nil {
+		t.Fatal("unknown point accepted — it would silently test nothing")
+	}
+	if !strings.Contains(err.Error(), "definitely.not.registered") {
+		t.Errorf("error %q does not name the offending point", err)
+	}
+	if !strings.Contains(err.Error(), known.Name()) {
+		t.Errorf("error %q does not list the known points", err)
+	}
+	// The failed Configure disarmed everything — nothing half-armed.
+	if got := Active(); len(got) != 0 {
+		t.Errorf("Active() = %v after a rejected spec, want none", got)
 	}
 }
 

@@ -36,6 +36,13 @@ const (
 	KeyAddr      = "addr"
 	KeyPath      = "path"
 	KeyCount     = "count"
+	// Cluster and async-job vocabulary (PR 10): peer events, forward
+	// routing and job lifecycle lines all join on these.
+	KeyPeer    = "peer"
+	KeyOwner   = "owner"
+	KeyJobID   = "job_id"
+	KeyTenant  = "tenant"
+	KeyWebhook = "webhook"
 )
 
 // NewLogger builds a slog.Logger writing to w. format is "text" or "json";

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fdiam/internal/fault"
+)
+
+func postJob(t *testing.T, url, query string, body []byte) (*http.Response, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobResponse
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func pollJob(t *testing.T, url, id string) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobResponse
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func waitJobDone(t *testing.T, url, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, out := pollJob(t, url, id)
+		if code == http.StatusOK && out.State == jobDone {
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached done", id)
+	return jobResponse{}
+}
+
+func TestJobSubmitPollComplete(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{Workers: 1})
+	body := pathGraphBytes(t, 150)
+	sum := sha256.Sum256(body)
+	wantID := hex.EncodeToString(sum[:])
+
+	resp, job := postJob(t, ts.URL, "", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if job.JobID != wantID || job.State != jobRunning {
+		t.Fatalf("submit = %+v; want id %s running", job, wantID)
+	}
+	done := waitJobDone(t, ts.URL, job.JobID)
+	if done.Result == nil || done.Result.Diameter != 149 {
+		t.Fatalf("done job result = %+v, want diameter 149", done.Result)
+	}
+	if reg.Counter("fdiamd_jobs_submitted_total", "").Value() != 1 ||
+		reg.Counter("fdiamd_jobs_completed_total", "").Value() != 1 {
+		t.Error("job counters did not record the lifecycle")
+	}
+
+	// Resubmitting a finished graph answers instantly from the result
+	// cache with 200.
+	resp2, job2 := postJob(t, ts.URL, "", body)
+	if resp2.StatusCode != http.StatusOK || job2.State != jobDone || job2.Result == nil {
+		t.Fatalf("resubmit = %d %+v; want immediate done", resp2.StatusCode, job2)
+	}
+}
+
+func TestJobDuplicateSubmissionReturnsSameID(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1, MaxConcurrent: 1})
+	body := pathGraphBytes(t, 3000)
+
+	_, first := postJob(t, ts.URL, "", body)
+	_, second := postJob(t, ts.URL, "", body)
+	if first.JobID != second.JobID {
+		t.Fatalf("duplicate submission minted a second job: %s vs %s", first.JobID, second.JobID)
+	}
+	waitJobDone(t, ts.URL, first.JobID)
+}
+
+func TestJobUnknownAndInvalidIDs(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	if code, out := pollJob(t, ts.URL, "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"); code != http.StatusNotFound || out.State != jobUnknown {
+		t.Errorf("unknown job: %d %+v, want 404 unknown", code, out)
+	}
+	if code, _ := pollJob(t, ts.URL, "not-a-key"); code != http.StatusBadRequest {
+		t.Errorf("invalid job id: %d, want 400", code)
+	}
+}
+
+func TestJobWebhookDelivered(t *testing.T) {
+	delivered := make(chan jobResponse, 1)
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var jr jobResponse
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		delivered <- jr
+	}))
+	defer hook.Close()
+
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	body := pathGraphBytes(t, 90)
+	if resp, _ := postJob(t, ts.URL, "?webhook="+hook.URL, body); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	select {
+	case jr := <-delivered:
+		if jr.State != jobDone || jr.Result == nil || jr.Result.Diameter != 89 {
+			t.Fatalf("webhook payload = %+v, want done with diameter 89", jr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+}
+
+func TestJobWebhookRetriesThenCountsFailure(t *testing.T) {
+	var calls atomic.Int64
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer hook.Close()
+
+	_, ts, reg := newTestServer(t, Config{Workers: 1})
+	body := pathGraphBytes(t, 50)
+	if resp, _ := postJob(t, ts.URL, "?webhook="+hook.URL, body); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Counter("fdiamd_webhook_failures_total", "").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("webhook failure never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if calls.Load() != webhookAttempts {
+		t.Errorf("webhook saw %d attempts, want %d", calls.Load(), webhookAttempts)
+	}
+	// The job itself still completed; webhook failure is delivery-only.
+	if _, out := pollJob(t, ts.URL, jobKey(body)); out.State != jobDone {
+		t.Errorf("job state %s, want done despite webhook failure", out.State)
+	}
+}
+
+func TestJobInjectedWebhookFault(t *testing.T) {
+	var calls atomic.Int64
+	hook := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		calls.Add(1)
+	}))
+	defer hook.Close()
+
+	if err := fault.Configure("serve.webhook_fail:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	body := pathGraphBytes(t, 45)
+	postJob(t, ts.URL, "?webhook="+hook.URL, body)
+	deadline := time.Now().Add(30 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry after the injected failure never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func jobKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestJobBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1})
+	body := pathGraphBytes(t, 10)
+
+	if resp, _ := postJob(t, ts.URL, "?webhook=not-a-url", body); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad webhook URL: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts.URL, "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /jobs: %d, want 405", r.StatusCode)
+	}
+}
+
+func TestJobQueueFullRejectsWithRetryAfter(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxQueue: 1})
+	// Saturate admission directly, as TestQueueFullRejects does.
+	s.admitted.Add(2)
+	defer s.admitted.Add(-2)
+
+	resp, _ := postJob(t, ts.URL, "", pathGraphBytes(t, 10))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+}
+
+// TestJobAdoptionAfterRestart is the crash-recovery contract: a job
+// submitted to a server that dies before finishing is completed by the
+// next boot's orphan resume, and GET /jobs/{id} on the new process reports
+// it done — no job table survived, only the checkpoint directory with the
+// graph copy persisted at submit time.
+func TestJobAdoptionAfterRestart(t *testing.T) {
+	ckDir := t.TempDir()
+	body := pathGraphBytes(t, 400)
+	id := jobKey(body)
+
+	s1, ts1, _ := newTestServer(t, Config{Workers: 1, MaxConcurrent: 1, CheckpointDir: ckDir})
+	// Occupy the only solve slot so the job is accepted (graph copy
+	// persisted) but deterministically never starts before the "crash".
+	s1.slots <- struct{}{}
+	if resp, _ := postJob(t, ts1.URL, "", body); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("submit failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+	if !fileExists(filepath.Join(ckDir, id, graphFileName)) {
+		t.Fatal("the dead server did not leave the job's graph copy behind")
+	}
+
+	// Boot a fresh process over the same checkpoint dir: before adoption
+	// the job polls as running (the directory exists); after ResumeOrphans
+	// it polls as done.
+	s2, ts2, _ := newTestServer(t, Config{Workers: 1, CheckpointDir: ckDir})
+	if code, out := pollJob(t, ts2.URL, id); code != http.StatusOK || out.State != jobRunning {
+		t.Fatalf("pre-adoption poll = %d %+v, want running (checkpoint dir present)", code, out)
+	}
+	if n := s2.ResumeOrphans(context.Background()); n != 1 {
+		t.Fatalf("ResumeOrphans = %d, want 1", n)
+	}
+	done := waitJobDone(t, ts2.URL, id)
+	if done.Result == nil || done.Result.Diameter != 399 {
+		t.Fatalf("adopted job result = %+v, want diameter 399", done.Result)
+	}
+}

@@ -85,6 +85,10 @@ func routeLabel(path string) string {
 	switch {
 	case path == "/diameter":
 		return "diameter"
+	case path == "/jobs" || strings.HasPrefix(path, "/jobs/"):
+		return "jobs"
+	case path == "/cluster":
+		return "cluster"
 	case path == "/healthz":
 		return "healthz"
 	case path == "/metrics":

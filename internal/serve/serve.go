@@ -19,12 +19,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"fdiam/internal/checkpoint"
+	"fdiam/internal/cluster"
 	"fdiam/internal/core"
 	"fdiam/internal/fault"
 	"fdiam/internal/graph"
@@ -106,6 +108,27 @@ type Config struct {
 	// over single-request latency set Workers low and MaxConcurrent high.
 	Workers int
 
+	// Cluster, when set, puts the server in cluster mode: each graph
+	// content hash has one owning peer on a consistent-hash ring, and a
+	// request arriving at a non-owner is forwarded to the owner (falling
+	// back to a local solve when the owner is unreachable). nil runs the
+	// server standalone. DESIGN.md §15 documents the routing.
+	Cluster *cluster.Cluster
+
+	// TenantHeader names the request header whose value identifies a
+	// tenant for per-tenant admission quotas (e.g. "X-Tenant"). Empty
+	// disables tenant quotas; requests without the header share one
+	// anonymous bucket.
+	TenantHeader string
+
+	// TenantRate is each tenant's sustained admission rate in requests
+	// per second. Default 1.
+	TenantRate float64
+
+	// TenantBurst is each tenant's burst allowance above the sustained
+	// rate. Default 5.
+	TenantBurst int
+
 	// Registry receives the fdiamd_* metrics. nil selects obs.Default(),
 	// so the daemon's /metrics endpoint exposes solver and serving
 	// counters side by side.
@@ -157,19 +180,31 @@ type Server struct {
 	mux     *http.ServeMux
 	lg      *slog.Logger
 
-	mRequests      *obs.Counter
-	mRejected      *obs.Counter
-	mGraphHits     *obs.Counter
-	mGraphMisses   *obs.Counter
-	mResultHits    *obs.Counter
-	mPanics        *obs.Counter
-	mCancelled     *obs.Counter
-	mStagedRetries *obs.Counter
-	mResumes       *obs.Counter
-	gInflight      *obs.Gauge
-	gQueued        *obs.Gauge
-	gGraphBytes    *obs.Gauge
-	hQueueWait     *obs.Histogram
+	cluster       *cluster.Cluster
+	tenants       *tenantLimiter
+	jobs          *jobTable
+	webhookClient *http.Client
+
+	mRequests       *obs.Counter
+	mRejected       *obs.Counter
+	mGraphHits      *obs.Counter
+	mGraphMisses    *obs.Counter
+	mResultHits     *obs.Counter
+	mPanics         *obs.Counter
+	mCancelled      *obs.Counter
+	mStagedRetries  *obs.Counter
+	mResumes        *obs.Counter
+	mPeerForwards   *obs.Counter
+	mPeerFallback   *obs.Counter
+	mTenantRejected *obs.Counter
+	mJobsSubmitted  *obs.Counter
+	mJobsCompleted  *obs.Counter
+	mJobsCancelled  *obs.Counter
+	mWebhookFails   *obs.Counter
+	gInflight       *obs.Gauge
+	gQueued         *obs.Gauge
+	gGraphBytes     *obs.Gauge
+	hQueueWait      *obs.Histogram
 }
 
 // New builds a Server from cfg. It fails only when cfg.GraphDir is set
@@ -186,6 +221,13 @@ func New(cfg Config) (*Server, error) {
 		graphs:  newGraphCache(cfg.GraphCacheBytes),
 		results: newResultCache(cfg.ResultCacheSize),
 		mux:     http.NewServeMux(),
+
+		cluster:       cfg.Cluster,
+		jobs:          newJobTable(),
+		webhookClient: &http.Client{},
+	}
+	if cfg.TenantHeader != "" {
+		s.tenants = newTenantLimiter(cfg.TenantRate, cfg.TenantBurst)
 	}
 	if cfg.GraphDir != "" {
 		root, err := os.OpenRoot(cfg.GraphDir)
@@ -217,6 +259,13 @@ func New(cfg Config) (*Server, error) {
 	s.mCancelled = reg.Counter("fdiamd_solves_cancelled_total", "solves that returned cancelled (deadline, disconnect or shutdown)")
 	s.mStagedRetries = reg.Counter("fdiamd_staged_read_retries_total", "transient staged-file read failures that were retried")
 	s.mResumes = reg.Counter("fdiamd_resumes_total", "orphaned solves resumed from a checkpoint snapshot")
+	s.mPeerForwards = reg.Counter("fdiamd_peer_forwards_total", "requests forwarded to the owning peer and answered by it")
+	s.mPeerFallback = reg.Counter("fdiamd_peer_fallback_total", "forwards that failed and degraded to a local solve")
+	s.mTenantRejected = reg.Counter("fdiamd_tenant_rejected_total", "requests rejected by per-tenant admission quotas")
+	s.mJobsSubmitted = reg.Counter("fdiamd_jobs_submitted_total", "async jobs accepted via POST /jobs")
+	s.mJobsCompleted = reg.Counter("fdiamd_jobs_completed_total", "async jobs that finished with a result")
+	s.mJobsCancelled = reg.Counter("fdiamd_jobs_cancelled_total", "async jobs cancelled by timeout or shutdown")
+	s.mWebhookFails = reg.Counter("fdiamd_webhook_failures_total", "webhook deliveries that failed after all retries")
 	s.gInflight = reg.Gauge("fdiamd_inflight_solves", "solves currently running")
 	s.gQueued = reg.Gauge("fdiamd_queued_solves", "solves waiting for a slot")
 	s.gGraphBytes = reg.Gauge("fdiamd_graph_cache_bytes", "resident bytes in the parsed-graph cache")
@@ -227,6 +276,9 @@ func New(cfg Config) (*Server, error) {
 	reg.ArmHistograms(true)
 
 	s.mux.HandleFunc("/diameter", s.handleDiameter)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJobGet)
+	s.mux.HandleFunc("/cluster", s.handleClusterStatus)
 	s.mux.HandleFunc("/progress/stream", s.handleProgressStream)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	// Everything else falls through to the shared introspection mux:
@@ -316,6 +368,9 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lg := obs.LoggerFrom(r.Context())
+	if !s.tenantAdmit(w, r) {
+		return
+	}
 
 	q := r.URL.Query()
 	streamBounds := q.Get("stream") == "bounds"
@@ -351,7 +406,7 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	// entry under the bare key satisfies every request (its gap is 0 ≤ any
 	// ε); an anytime request additionally accepts an approximate entry
 	// cached under its own parameter-qualified key.
-	if res, ok := s.results.get(key); ok {
+	if res, ok := s.lookupResult(key, at); ok {
 		s.mResultHits.Inc()
 		if streamBounds {
 			s.streamCached(w, r, key, res, at)
@@ -360,14 +415,16 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 		s.writeResult(w, r, key, res, 0, true, true, nil, at)
 		return
 	}
-	if at.enabled() {
-		if res, ok := s.results.get(at.cacheKey(key)); ok {
-			s.mResultHits.Inc()
-			if streamBounds {
-				s.streamCached(w, r, key, res, at)
-				return
-			}
-			s.writeResult(w, r, key, res, 0, true, true, nil, at)
+
+	// Cluster routing: the ring owner holds this graph's caches and
+	// checkpoint directory, so a non-owner hands the whole request over —
+	// the owner answers from its result cache without solving when it can.
+	// An unreachable owner degrades to solving here (counted, logged,
+	// never an error to the client). Bound-streaming requests always run
+	// locally: relaying a progress stream through a second node would
+	// buffer it.
+	if !streamBounds {
+		if owner, ok := s.forwardOwner(r, key); ok && s.tryForward(w, r, owner, data) {
 			return
 		}
 	}
@@ -391,7 +448,7 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	if admitted := s.admitted.Add(1); admitted > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
 		s.admitted.Add(-1)
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "solver queue full", http.StatusTooManyRequests)
 		return
 	}
@@ -455,7 +512,7 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 			return core.DiameterCtx(ctx, g, opt)
 		}}
 		resp := func(res core.Result) response {
-			out := s.buildResponse(r, key, res, time.Since(start), hit, false, at)
+			out := s.buildResponse(obs.RequestIDFrom(r.Context()), key, res, time.Since(start), hit, false, at)
 			if traceBuf != nil {
 				out.Trace = json.RawMessage(traceBuf.Bytes())
 			}
@@ -519,6 +576,59 @@ func (s *Server) publishOutcome(key string, g *graph.Graph, graphHit bool, res c
 		return
 	}
 	s.clearCheckpointDir(key)
+}
+
+// lookupResult is the two-layer result-cache probe every entry point uses:
+// an exact entry under the bare content key satisfies any request, and an
+// anytime request additionally accepts an approximate entry cached under
+// its parameter-qualified key.
+func (s *Server) lookupResult(key string, at anytime) (core.Result, bool) {
+	if res, ok := s.results.get(key); ok {
+		return res, true
+	}
+	if at.enabled() {
+		if res, ok := s.results.get(at.cacheKey(key)); ok {
+			return res, true
+		}
+	}
+	return core.Result{}, false
+}
+
+// tenantAdmit charges the request's tenant one quota token, answering 429
+// with a Retry-After when the bucket is empty. Requests forwarded from a
+// peer pass for free — the entry node already charged the tenant, and
+// double-charging would make cluster routing cost quota.
+func (s *Server) tenantAdmit(w http.ResponseWriter, r *http.Request) bool {
+	if s.tenants == nil || forwarded(r) {
+		return true
+	}
+	tenant := r.Header.Get(s.cfg.TenantHeader)
+	retryAfter, ok := s.tenants.admit(tenant, time.Now())
+	if ok {
+		return true
+	}
+	s.mTenantRejected.Inc()
+	obs.LoggerFrom(r.Context()).Warn("tenant_rejected", obs.KeyTenant, tenant, obs.KeyPath, r.URL.Path)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	http.Error(w, "tenant quota exhausted", http.StatusTooManyRequests)
+	return false
+}
+
+// retryAfterSeconds derives the queue-full Retry-After hint from live
+// occupancy: each wave of MaxConcurrent queued solves adds a second to the
+// estimate, and up to 50% jitter spreads a synchronized client herd across
+// the window instead of stampeding the instant it closes.
+func (s *Server) retryAfterSeconds() int {
+	queued := s.admitted.Load() - int64(s.cfg.MaxConcurrent)
+	if queued < 0 {
+		queued = 0
+	}
+	base := 1 + int(queued)/s.cfg.MaxConcurrent
+	const maxHint = 30
+	if base > maxHint {
+		base = maxHint
+	}
+	return base + rand.IntN(base/2+1)
 }
 
 // requestTimeout resolves the effective solve deadline: the request's
@@ -770,7 +880,10 @@ func (s *Server) resumeOrphan(ctx context.Context, key string) bool {
 	return true
 }
 
-func (s *Server) buildResponse(r *http.Request, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool, at anytime) response {
+// buildResponse takes the request ID as a plain string rather than the
+// *http.Request so job webhooks — which outlive their submitting request —
+// can build the same payload.
+func (s *Server) buildResponse(requestID, key string, res core.Result, elapsed time.Duration, graphHit, resultHit bool, at anytime) response {
 	witness := func(v uint32) int64 {
 		if v == graph.NoVertex {
 			return -1
@@ -795,14 +908,14 @@ func (s *Server) buildResponse(r *http.Request, key string, res core.Result, ela
 		GraphHash:      key,
 		GraphCacheHit:  graphHit,
 		ResultCacheHit: resultHit,
-		RequestID:      obs.RequestIDFrom(r.Context()),
+		RequestID:      requestID,
 		Stats:          &stats,
 	}
 }
 
 func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, key string, res core.Result,
 	elapsed time.Duration, graphHit, resultHit bool, traceBuf *bytes.Buffer, at anytime) {
-	resp := s.buildResponse(r, key, res, elapsed, graphHit, resultHit, at)
+	resp := s.buildResponse(obs.RequestIDFrom(r.Context()), key, res, elapsed, graphHit, resultHit, at)
 	if traceBuf != nil {
 		resp.Trace = json.RawMessage(traceBuf.Bytes())
 	}

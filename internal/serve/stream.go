@@ -205,7 +205,7 @@ func (s *Server) streamCached(w http.ResponseWriter, r *http.Request, key string
 		LB: int64(res.Diameter), UB: int64(res.Upper),
 		WitnessA: witness(res.WitnessA), WitnessB: witness(res.WitnessB),
 	})
-	_ = writeSSE(w, fl, sseEventResult, s.buildResponse(r, key, res, 0, true, true, at))
+	_ = writeSSE(w, fl, sseEventResult, s.buildResponse(obs.RequestIDFrom(r.Context()), key, res, 0, true, true, at))
 }
 
 // solveGraph packages the one-shot solve closure handed to streamSolve so
